@@ -1,0 +1,80 @@
+// Experiment F1 — Figure 1: intra-node LULESH on the unoptimized
+// (LLVM-like) runtime. Sweeps tasks-per-loop and reports the TDG discovery
+// time, the total execution time, and the projected execution if the run
+// were not discovery-bound (the dashed curve), against the parallel-for
+// baseline.
+//
+// Paper shape to reproduce: execution improves with TPL refinement until
+// the discovery curve crosses it; past the crossover total time follows
+// discovery, and the best task-based point is only a few percent better
+// than parallel-for (~86 s vs ~75 s in the paper).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace bench;
+using tdg::apps::lulesh::build_sim_graph;
+using tdg::sim::ClusterSim;
+using tdg::sim::SimConfig;
+using tdg::sim::SimGraph;
+
+constexpr int kIterations = 16;
+constexpr int kLoops = 10;  // mesh-wide loops per iteration in lulesh-mini
+
+SimConfig llvm_like() {
+  SimConfig cfg;
+  cfg.machine = skylake24();
+  cfg.discovery = discovery_unoptimized();
+  cfg.throttle = throttle_llvm();
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 1: LULESH intra-node, unoptimized runtime (24 cores)");
+
+  // parallel-for baseline.
+  {
+    SimGraph pf = parallel_for_graph(kIntraPoints, kLoops, kIterations, 24,
+                                     /*collective=*/false);
+    ClusterSim sim(llvm_like());
+    sim.set_all_graphs(&pf);
+    const auto r = sim.run();
+    std::printf("parallel-for version: %.2f s\n", r.makespan);
+  }
+
+  row({"TPL", "discovery(s)", "total(s)", "projected(s)", "tasks",
+       "edges"});
+  double best_total = 1e30;
+  int best_tpl = 0;
+  for (int tpl : {48, 336, 624, 912, 1200, 1488, 1776, 2064, 2352, 2640,
+                  2928, 3216, 3504, 3792, 4080, 4368, 4608}) {
+    auto opts = lulesh_intra(tpl, kIterations, /*a=*/false, /*b=*/false,
+                             /*c=*/false, /*p=*/false);
+    SimGraph g = build_sim_graph(opts);
+
+    ClusterSim sim(llvm_like());
+    sim.set_all_graphs(&g);
+    const auto r = sim.run();
+
+    // Projection: the same graph with free discovery (the dashed curve of
+    // Fig. 1 — what execution would reach if never discovery-bound).
+    SimConfig free_cfg = llvm_like();
+    free_cfg.discovery = tdg::sim::DiscoveryCosts{0, 0, 0, 0, 0};
+    ClusterSim free_sim(free_cfg);
+    free_sim.set_all_graphs(&g);
+    const auto rf = free_sim.run();
+
+    row({fmt_u(static_cast<std::uint64_t>(tpl)),
+         fmt(r.ranks[0].discovery_seconds, 2), fmt(r.makespan, 2),
+         fmt(rf.makespan, 2), fmt_u(r.ranks[0].tasks_executed),
+         fmt_u(r.ranks[0].edges_created)});
+    if (r.makespan < best_total) {
+      best_total = r.makespan;
+      best_tpl = tpl;
+    }
+  }
+  std::printf("best task-based: TPL=%d at %.2f s\n", best_tpl, best_total);
+  return 0;
+}

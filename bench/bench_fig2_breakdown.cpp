@@ -1,0 +1,74 @@
+// Experiment F2 — Figure 2 (a-f): profiled LULESH on the MPC-OMP-like
+// runtime (total-task throttling, Section-3 optimizations still off).
+// Per TPL: (a) tasks + edges, (b) per-task work/overhead, (c) time
+// breakdown averaged on threads + discovery, (d) work-time inflation
+// vs the least-inflated instance, (e) cache misses, (f) memory stalls.
+//
+// Paper shapes: work deflates from coarse to middle grain as L3 misses
+// fall (depth-first reuse), idleness dominates at coarse grain and again
+// at fine grain when discovery starves the cores; edges collapse at fine
+// grain from pruning.
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  using tdg::apps::lulesh::build_sim_graph;
+  using tdg::sim::ClusterSim;
+  using tdg::sim::SimConfig;
+
+  constexpr int kIterations = 16;
+
+  header("Figure 2: LULESH on 24-core node, MPC-OMP-like, per-TPL profile");
+  row({"TPL", "tasks", "edges", "work/task(us)", "ovh/task(us)",
+       "avg_work(s)", "avg_idle(s)", "avg_ovh(s)", "discovery(s)"});
+
+  struct Point {
+    int tpl;
+    double work;
+    std::uint64_t l1, l2, l3;
+    double stalls;
+  };
+  std::vector<Point> points;
+
+  for (int tpl : {48, 336, 624, 912, 1200, 1488, 1776, 2064, 2352, 2640,
+                  2928, 3216, 3504, 3792, 4080, 4368, 4608}) {
+    auto opts = lulesh_intra(tpl, kIterations, /*a=*/false, /*b=*/false,
+                             /*c=*/false, /*p=*/false);
+    SimConfig cfg;
+    cfg.machine = skylake24();
+    cfg.discovery = discovery_unoptimized();
+    cfg.throttle = throttle_mpc();
+    auto g = build_sim_graph(opts);
+    ClusterSim sim(cfg);
+    sim.set_all_graphs(&g);
+    const auto r = sim.run();
+    const auto& rk = r.ranks[0];
+    const double per_task_work =
+        rk.work / static_cast<double>(rk.tasks_executed) * 1e6;
+    const double per_task_ovh =
+        rk.overhead / static_cast<double>(rk.tasks_executed) * 1e6;
+    row({fmt_u(static_cast<std::uint64_t>(tpl)), fmt_u(rk.tasks_executed),
+         fmt_u(rk.edges_created), fmt(per_task_work, 1),
+         fmt(per_task_ovh, 1), fmt(rk.avg_work(24), 2),
+         fmt(rk.avg_idle(24), 2), fmt(rk.avg_overhead(24), 2),
+         fmt(rk.discovery_seconds, 2)});
+    points.push_back({tpl, rk.work, rk.cache.l1_misses, rk.cache.l2_misses,
+                      rk.cache.l3_misses, rk.cache.stall_seconds});
+  }
+
+  // (d) work-time inflation and (e,f) cache behaviour.
+  double min_work = 1e300;
+  for (const auto& p : points) min_work = std::min(min_work, p.work);
+  header("Figure 2 (d,e,f): inflation and cache misses");
+  row({"TPL", "inflation", "L1DCM(M)", "L2DCM(M)", "L3CM(M)",
+       "stalls(s)"});
+  for (const auto& p : points) {
+    row({fmt_u(static_cast<std::uint64_t>(p.tpl)), fmt(p.work / min_work, 3),
+         fmt(static_cast<double>(p.l1) / 1e6, 0),
+         fmt(static_cast<double>(p.l2) / 1e6, 0),
+         fmt(static_cast<double>(p.l3) / 1e6, 0), fmt(p.stalls, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment F9 — Figure 9: HPCG with dependent tasks on a chain of ranks
+// (scaled from the paper's 32 x 24 cores; matrix n = 41.9M). Sweeps the
+// number of vector blocks (TPL), SpMV fixed at 32 sub-blocks. Reports the
+// time breakdown, communication time, overlapped work and overlap ratio,
+// plus edges-per-task and average task grain.
+//
+// Paper shapes: best work time at the finest grain (~80 us tasks, ~20%
+// work reduction) but best TOTAL at a moderate TPL (~1 ms tasks) for a
+// ~1.1x speedup over parallel-for; overlap ratio stays low (<= 23%): HPCG
+// has little work to overlap with its dot-product collectives. Edges per
+// task grow linearly with the block count while the grain shrinks.
+#include <vector>
+
+#include "apps/hpcg/hpcg.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace bench;
+using tdg::apps::SimEmitter;
+using tdg::sim::ClusterSim;
+using tdg::sim::SimConfig;
+using tdg::sim::SimGraph;
+
+namespace hpcg = tdg::apps::hpcg;
+
+constexpr int kRanks = 8;
+constexpr int kCgIterations = 16;   // scaled from 128 (report x8)
+constexpr double kScaleUp = 128.0 / kCgIterations;
+constexpr double kRowsPerRank = 1.31e6;  // 41.9M / 32 ranks
+
+hpcg::Config model_config(int tpl) {
+  hpcg::Config c;
+  c.nx = 16;
+  c.ny = 16;
+  c.nz_global = 8 * kRanks;  // 8 planes per rank
+  c.cg_iterations = kCgIterations;
+  c.tpl = tpl;
+  c.nspmv = 32;
+  c.distributed = true;
+  return c;
+}
+
+SimGraph rank_graph(const hpcg::Config& base, int rank) {
+  hpcg::Config c = base;
+  hpcg::Problem prob = hpcg::build_problem(c, rank, kRanks);
+  c.sim_scale = kRowsPerRank / static_cast<double>(prob.nrows());
+  hpcg::CgState st(prob, c.tpl);
+  hpcg::ZHalo halo;
+  halo.down = rank > 0 ? rank - 1 : -1;
+  halo.up = rank + 1 < kRanks ? rank + 1 : -1;
+  SimEmitter em({.builder = {}, .persistent = false});
+  emit_init(em, prob, st, c, &halo);
+  for (int it = 0; it < c.cg_iterations; ++it) {
+    em.begin_iteration(static_cast<std::uint32_t>(it));
+    emit_iteration(em, prob, st, c, static_cast<std::uint32_t>(it), &halo);
+  }
+  return em.take();
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 9: HPCG, 8 ranks x 24 cores, n=41.9M-equivalent (x8 iters)");
+
+  // parallel-for baseline: spmv + 2 dots + 3 vector loops per iteration,
+  // blocking collectives.
+  {
+    auto pf = parallel_for_graph(kRowsPerRank, 6, kCgIterations, 24,
+                                 /*collective=*/true, 60e-9, 120);
+    SimConfig cfg;
+    cfg.machine = skylake24();
+    cfg.discovery = discovery_optimized();
+    cfg.nranks = kRanks;
+    ClusterSim sim(cfg);
+    sim.set_all_graphs(&pf);
+    const auto r = sim.run();
+    std::printf("parallel-for version: %.2f s\n", r.makespan * kScaleUp);
+  }
+
+  row({"TPL", "avg_work(s)", "avg_idle(s)", "avg_ovh(s)", "comm(s)",
+       "ratio(%)", "edges/task", "grain(us)", "total(s)"}, 12);
+  for (int tpl : {24, 96, 192, 288, 480, 768, 1152, 1536}) {
+    const hpcg::Config base = model_config(tpl);
+    std::vector<SimGraph> graphs;
+    for (int r = 0; r < kRanks; ++r) graphs.push_back(rank_graph(base, r));
+    SimConfig cfg;
+    cfg.machine = skylake24();
+    cfg.discovery = discovery_optimized();
+    cfg.throttle = throttle_mpc();
+    cfg.nranks = kRanks;
+    ClusterSim sim(cfg);
+    for (int r = 0; r < kRanks; ++r) {
+      sim.set_graph(r, &graphs[static_cast<std::size_t>(r)]);
+    }
+    const auto res = sim.run();
+    const auto& rk = res.ranks[kRanks / 2];
+    const double grain =
+        rk.work / static_cast<double>(rk.tasks_executed) * 1e6;
+    const double edges_per_task =
+        static_cast<double>(rk.edges_created + rk.edges_pruned) /
+        static_cast<double>(rk.tasks_executed);
+    row({fmt_u(static_cast<std::uint64_t>(tpl)),
+         fmt(rk.avg_work(24) * kScaleUp, 2),
+         fmt(rk.avg_idle(24) * kScaleUp, 2),
+         fmt(rk.avg_overhead(24) * kScaleUp, 2),
+         fmt(rk.comm.total_comm_seconds * kScaleUp, 2),
+         fmt(rk.comm.overlap_ratio(24) * 100, 1), fmt(edges_per_task, 1),
+         fmt(grain, 1), fmt(res.makespan * kScaleUp, 2)},
+        12);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment MG — Section 3.3's METG report: the Minimum Effective Task
+// Granularity METG(95%) is the smallest average task grain at which an
+// instance still reaches 95% of the best observed performance.
+//
+// Paper: Task Bench reports METG(95%) ~ 1 ms for OpenMP runtimes; the
+// optimized runtime reaches 65 us (TPL 9216), 1.5 orders of magnitude
+// better. Both configurations are swept here.
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  using tdg::apps::lulesh::build_sim_graph;
+  using tdg::sim::ClusterSim;
+  using tdg::sim::SimConfig;
+
+  constexpr int kIterations = 8;
+
+  header("METG(95%): grain sweep, optimized vs unoptimized runtime");
+
+  for (bool optimized : {false, true}) {
+    struct Sample {
+      int tpl;
+      double grain_us;
+      double total;
+    };
+    std::vector<Sample> samples;
+    double best = 1e300;
+    for (int tpl : {48, 192, 576, 1200, 2304, 4608, 9216, 18432, 36864}) {
+      auto opts = lulesh_intra(tpl, kIterations, optimized, optimized,
+                               optimized, optimized);
+      SimConfig cfg;
+      cfg.machine = skylake24();
+      cfg.discovery =
+          optimized ? discovery_optimized() : discovery_unoptimized();
+      cfg.throttle = optimized ? throttle_mpc() : throttle_llvm();
+      cfg.persistent = optimized;
+      cfg.iterations = optimized ? kIterations : 1;
+      auto g = build_sim_graph(opts);
+      ClusterSim sim(cfg);
+      sim.set_all_graphs(&g);
+      const auto r = sim.run();
+      const double grain =
+          r.ranks[0].work / static_cast<double>(r.ranks[0].tasks_executed);
+      samples.push_back({tpl, grain * 1e6, r.makespan});
+      best = std::min(best, r.makespan);
+    }
+    std::printf("\n%s runtime:\n", optimized ? "optimized" : "unoptimized");
+    row({"TPL", "grain(us)", "total(s)", "efficiency"});
+    double metg = 1e300;
+    for (const auto& s : samples) {
+      const double eff = best / s.total;
+      row({fmt_u(static_cast<std::uint64_t>(s.tpl)), fmt(s.grain_us, 1),
+           fmt(s.total, 2), fmt(eff, 3)});
+      if (eff >= 0.95) metg = std::min(metg, s.grain_us);
+    }
+    std::printf("METG(95%%) = %.1f us\n", metg);
+  }
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks of the runtime's discovery primitives on this host:
+// task submission, dependence hashing, duplicate-edge elimination,
+// persistent replay, inoutset fan-in. These are the per-task/per-edge
+// costs the simulator's DiscoveryCosts model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/tdg.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::PersistentRegion;
+using tdg::Runtime;
+
+Runtime::Config solo() {
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  // Keep every task alive so the benchmarks measure pure discovery.
+  cfg.throttle.max_total = static_cast<std::size_t>(-1);
+  return cfg;
+}
+
+void BM_SubmitIndependent(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) rt.submit([] {}, {});
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubmitIndependent)->Arg(1000);
+
+void BM_SubmitChain(benchmark::State& state) {
+  int x = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      rt.submit([] {}, {Depend::inout(&x)});
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubmitChain)->Arg(1000);
+
+void BM_SubmitManyDeps(benchmark::State& state) {
+  std::vector<double> data(16);
+  std::vector<Depend> deps;
+  for (auto& d : data) deps.push_back(Depend::inout(&d));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      rt.submit([] {}, std::span<const Depend>(deps));
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<long>(deps.size()));
+}
+BENCHMARK(BM_SubmitManyDeps)->Arg(500);
+
+void BM_DuplicateEdgeElimination(benchmark::State& state) {
+  // Fig. 3 pattern: dedup hits on every second depend item.
+  double x = 0, y = 0;
+  const bool dedup = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime::Config cfg = solo();
+    cfg.discovery.dedup_edges = dedup;
+    Runtime rt(cfg);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      rt.submit([] {}, {Depend::out(&x), Depend::out(&y)});
+      rt.submit([] {}, {Depend::in(&x), Depend::in(&y)});
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_DuplicateEdgeElimination)->Arg(0)->Arg(1);
+
+void BM_PersistentReplayIteration(benchmark::State& state) {
+  // The replay cost per task: the paper's "single memcpy on firstprivate".
+  const int n = static_cast<int>(state.range(0));
+  Runtime rt(solo());
+  std::vector<int> out(static_cast<std::size_t>(n));
+  int chain = 0;
+  PersistentRegion region(rt);
+  region.begin_iteration();
+  for (int i = 0; i < n; ++i) {
+    rt.submit([&out, i] { out[static_cast<std::size_t>(i)] = i; },
+              {Depend::inout(&chain)});
+  }
+  region.end_iteration();
+  for (auto _ : state) {
+    region.begin_iteration();
+    for (int i = 0; i < n; ++i) {
+      rt.submit([&out, i] { out[static_cast<std::size_t>(i)] = i; },
+                {Depend::inout(&chain)});
+    }
+    region.end_iteration();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PersistentReplayIteration)->Arg(1000);
+
+void BM_InOutSetFanIn(benchmark::State& state) {
+  const bool redirect = state.range(0) != 0;
+  double x = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime::Config cfg = solo();
+    cfg.discovery.inoutset_redirect = redirect;
+    Runtime rt(cfg);
+    state.ResumeTiming();
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        rt.submit([] {}, {Depend::inoutset(&x)});
+      }
+      for (int j = 0; j < 16; ++j) {
+        rt.submit([] {}, {Depend::in(&x)});
+      }
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20 * 32);
+}
+BENCHMARK(BM_InOutSetFanIn)->Arg(0)->Arg(1);
+
+void BM_DetachFulfill(benchmark::State& state) {
+  Runtime rt({.num_threads = 1});
+  for (auto _ : state) {
+    tdg::Event* ev = rt.create_event();
+    rt.submit([] {}, {}, {.detach = ev});
+    ev->fulfill();
+    rt.taskwait();
+  }
+}
+BENCHMARK(BM_DetachFulfill);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Experiment T1 — Table 1: impact of the TDG discovery on the work time.
+// Blocking execution until the graph is fully discovered ("Non overlapped")
+// gives the depth-first scheduler full knowledge of every dependency:
+// cache misses and work time drop, idleness almost disappears — but the
+// total time explodes because the whole graph unrolls sequentially first.
+//
+// Paper numbers (for shape): at 4608 TPL, non-overlapped cuts L2 misses
+// ~15%, L3 ~42%, work ~32%, idle to ~0; total 357 s vs 112 s.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  using tdg::apps::lulesh::build_sim_graph;
+  using tdg::sim::ClusterSim;
+  using tdg::sim::SimConfig;
+
+  constexpr int kIterations = 16;
+
+  header("Table 1: overlapped vs non-overlapped TDG discovery");
+  row({"instance", "mode", "idle(s)", "work(s)", "L2DCM(M)", "L3CM(M)",
+       "total(s)"}, 16);
+
+  struct Case {
+    int tpl;
+    bool non_overlapped;
+    const char* tag;
+  };
+  for (const Case c : {Case{912, false, "normal"},
+                       Case{4608, false, "normal"},
+                       Case{4608, true, "non-overlapped"}}) {
+    auto opts = lulesh_intra(c.tpl, kIterations, false, false, false, false);
+    SimConfig cfg;
+    cfg.machine = skylake24();
+    cfg.discovery = discovery_unoptimized();
+    cfg.throttle = throttle_mpc();
+    cfg.non_overlapped = c.non_overlapped;
+    auto g = build_sim_graph(opts);
+    ClusterSim sim(cfg);
+    sim.set_all_graphs(&g);
+    const auto r = sim.run();
+    const auto& rk = r.ranks[0];
+    // The paper's Table 1 idleness covers the parallel phase: in the
+    // non-overlapped configuration the cores' forced wait behind the
+    // sequential unroll is excluded (23 workers x discovery span).
+    double idle = rk.idle;
+    if (c.non_overlapped) {
+      idle = std::max(0.0, idle - 23.0 * rk.discovery_seconds);
+    }
+    row({std::to_string(c.tpl) + " TPL", c.tag, fmt(idle, 1),
+         fmt(rk.work, 1), fmt(static_cast<double>(rk.cache.l2_misses) / 1e6, 0),
+         fmt(static_cast<double>(rk.cache.l3_misses) / 1e6, 0),
+         fmt(r.makespan, 1)}, 16);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Tiled Cholesky demo: one task per tile kernel (potrf/trsm/syrk/gemm),
+// dependences on tile addresses, verified by reconstructing A = L L^T.
+//
+//   ./cholesky_demo [nt] [tile_size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cholesky/cholesky.hpp"
+#include "core/tdg.hpp"
+
+int main(int argc, char** argv) {
+  namespace chol = tdg::apps::cholesky;
+
+  chol::Config cfg;
+  cfg.nt = argc > 1 ? std::atoi(argv[1]) : 8;
+  cfg.b = argc > 2 ? std::atoi(argv[2]) : 32;
+  std::printf("cholesky: %d x %d tiles of %d x %d (n = %lld)\n", cfg.nt,
+              cfg.nt, cfg.b, cfg.b, static_cast<long long>(
+                  static_cast<std::int64_t>(cfg.nt) * cfg.b));
+
+  chol::TiledMatrix a(cfg.nt, cfg.b), orig(cfg.nt, cfg.b);
+  a.fill_spd();
+  orig.fill_spd();
+
+  tdg::Runtime rt({.num_threads = 4});
+  const double t0 = tdg::now_seconds();
+  run_taskbased(rt, a, cfg, /*persistent=*/false);
+  const double secs = tdg::now_seconds() - t0;
+
+  const auto s = rt.stats();
+  std::printf("factorized in %.1f ms: %llu tile kernels, %llu edges\n",
+              secs * 1e3,
+              static_cast<unsigned long long>(s.tasks_created),
+              static_cast<unsigned long long>(s.discovery.edges_created +
+                                              s.discovery.edges_pruned));
+  std::printf("kernel count check: %llu expected\n",
+              static_cast<unsigned long long>(chol::kernel_count(cfg.nt)));
+  std::printf("max |L L^T - A| = %.3e\n", a.reconstruction_error(orig));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// hpcg-mini demo: a conjugate-gradient solve on the 27-point stencil,
+// task-parallel with blocked vectors and sub-blocked SpMV. The rhs is the
+// operator's row sums, so the solver converges to x = 1 — printed as the
+// max deviation. The task version reproduces the serial trajectory
+// bit-for-bit (same blocked dot-product association).
+//
+//   ./hpcg_demo [nx] [cg_iterations] [tpl]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/hpcg/hpcg.hpp"
+#include "core/tdg.hpp"
+
+int main(int argc, char** argv) {
+  namespace hpcg = tdg::apps::hpcg;
+
+  hpcg::Config cfg;
+  cfg.nx = cfg.ny = argc > 1 ? std::atoi(argv[1]) : 12;
+  cfg.nz_global = cfg.nx;
+  cfg.cg_iterations = argc > 2 ? std::atoi(argv[2]) : 30;
+  cfg.tpl = argc > 3 ? std::atoi(argv[3]) : 8;
+  cfg.nspmv = 4;
+
+  hpcg::Problem prob = hpcg::build_problem(cfg);
+  std::printf("hpcg-mini: %dx%dx%d lattice, %lld rows, %d CG iterations, "
+              "tpl=%d\n",
+              cfg.nx, cfg.ny, cfg.nz_global,
+              static_cast<long long>(prob.nrows()), cfg.cg_iterations,
+              cfg.tpl);
+
+  hpcg::CgState ref(prob, cfg.tpl);
+  run_reference(prob, ref, cfg);
+
+  tdg::Runtime rt({.num_threads = 4});
+  hpcg::CgState st(prob, cfg.tpl);
+  const double t0 = tdg::now_seconds();
+  run_taskbased(rt, prob, st, cfg, /*persistent=*/true);
+  const double secs = tdg::now_seconds() - t0;
+
+  std::printf("residual: ");
+  for (std::size_t i = 0; i < st.residual_history.size(); i += 5) {
+    std::printf("%.3e ", st.residual_history[i]);
+  }
+  std::printf("\nfinal residual %.3e, max |x-1| = %.3e  (%.1f ms)\n",
+              st.residual_history.back(), solution_error(prob, st),
+              secs * 1e3);
+
+  bool identical = st.residual_history == ref.residual_history;
+  std::printf("task trajectory identical to serial reference: %s\n",
+              identical ? "yes" : "NO");
+  const auto s = rt.stats();
+  std::printf("graph: %llu tasks cached, %llu instances, %llu edges\n",
+              static_cast<unsigned long long>(s.tasks_created),
+              static_cast<unsigned long long>(s.tasks_executed),
+              static_cast<unsigned long long>(s.discovery.edges_created));
+  return 0;
+}

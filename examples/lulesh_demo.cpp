@@ -1,0 +1,79 @@
+// lulesh-mini demo: the Sedov-like hydro proxy in its three variants —
+// serial reference, parallel-for (BSP), and dependent tasks (optionally
+// persistent) — with digests proving they compute identical physics, and
+// the task-graph statistics of the dependent version.
+//
+//   ./lulesh_demo [npoints] [iterations] [tpl]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "core/tdg.hpp"
+
+int main(int argc, char** argv) {
+  namespace lulesh = tdg::apps::lulesh;
+
+  lulesh::Config cfg;
+  cfg.npoints = argc > 1 ? std::atoll(argv[1]) : 1 << 15;
+  cfg.iterations = argc > 2 ? std::atoi(argv[2]) : 16;
+  cfg.tpl = argc > 3 ? std::atoi(argv[3]) : 64;
+  std::printf("lulesh-mini: npoints=%lld iterations=%d tpl=%d\n",
+              static_cast<long long>(cfg.npoints), cfg.iterations, cfg.tpl);
+
+  auto show = [](const char* name, const lulesh::Mesh& m, double secs) {
+    const auto d = m.digest();
+    std::printf("%-22s %8.3f ms   sum_e=%.12g dt=%.6g\n", name, secs * 1e3,
+                d.sum_e, d.dt);
+    return d;
+  };
+
+  // Serial reference.
+  lulesh::Mesh ref(cfg.npoints);
+  double t0 = tdg::now_seconds();
+  run_reference(ref, cfg);
+  const auto dref = show("serial reference", ref, tdg::now_seconds() - t0);
+
+  // parallel-for (taskloop + barrier per mesh-wide loop).
+  {
+    tdg::Runtime rt({.num_threads = 4});
+    lulesh::Mesh m(cfg.npoints);
+    t0 = tdg::now_seconds();
+    run_parallel_for(rt, m, cfg);
+    const auto d = show("parallel-for", m, tdg::now_seconds() - t0);
+    std::printf("   matches reference: %s\n", d == dref ? "yes" : "NO");
+  }
+
+  // Dependent tasks, rediscovered each iteration.
+  {
+    tdg::Runtime rt({.num_threads = 4});
+    lulesh::Mesh m(cfg.npoints);
+    t0 = tdg::now_seconds();
+    run_taskbased(rt, m, cfg, /*persistent=*/false);
+    const auto d = show("dependent tasks", m, tdg::now_seconds() - t0);
+    const auto s = rt.stats();
+    std::printf(
+        "   matches reference: %s | %llu tasks, %llu edges, discovery "
+        "%.3f ms\n",
+        d == dref ? "yes" : "NO",
+        static_cast<unsigned long long>(s.tasks_created),
+        static_cast<unsigned long long>(s.discovery.edges_created),
+        s.discovery_seconds() * 1e3);
+  }
+
+  // Dependent tasks under a persistent graph (optimization (p)).
+  {
+    tdg::Runtime rt({.num_threads = 4});
+    lulesh::Mesh m(cfg.npoints);
+    t0 = tdg::now_seconds();
+    run_taskbased(rt, m, cfg, /*persistent=*/true);
+    const auto d = show("persistent tasks", m, tdg::now_seconds() - t0);
+    const auto s = rt.stats();
+    std::printf(
+        "   matches reference: %s | graph cached: %llu tasks created, "
+        "%llu instances executed\n",
+        d == dref ? "yes" : "NO",
+        static_cast<unsigned long long>(s.tasks_created),
+        static_cast<unsigned long long>(s.tasks_executed));
+  }
+  return 0;
+}

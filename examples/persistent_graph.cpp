@@ -1,0 +1,95 @@
+// Persistent Task Sub-Graph demo (the paper's optimization (p)).
+//
+// An iterative blocked stencil is run twice: once rediscovering its task
+// graph every iteration, once under a PersistentRegion where iterations
+// 1..N-1 only memcpy the firstprivate captures of cached tasks. The
+// per-iteration discovery times show the replay speedup.
+#include <cstdio>
+#include <vector>
+
+#include "core/tdg.hpp"
+
+namespace {
+
+constexpr int kBlocks = 64;
+constexpr int kIterations = 20;
+constexpr std::int64_t kN = 1 << 16;
+
+void emit_stencil_iteration(tdg::Runtime& rt, std::vector<double>& u,
+                            std::vector<double>& v, int iter) {
+  using tdg::Depend;
+  const std::int64_t bs = kN / kBlocks;
+  for (int b = 0; b < kBlocks; ++b) {
+    const std::int64_t lo = b * bs, hi = lo + bs;
+    tdg::DependList deps;
+    // 3-point stencil: block b reads u blocks b-1, b, b+1, writes v block b.
+    for (int nb : {b - 1, b, b + 1}) {
+      if (nb >= 0 && nb < kBlocks) {
+        deps.push_back(Depend::in(&u[static_cast<std::size_t>(nb * bs)]));
+      }
+    }
+    deps.push_back(Depend::out(&v[static_cast<std::size_t>(lo)]));
+    // `iter` is firstprivate: the replay updates it with a memcpy.
+    rt.submit(
+        [&u, &v, lo, hi, iter] {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const auto l = static_cast<std::size_t>(i > 0 ? i - 1 : i);
+            const auto r =
+                static_cast<std::size_t>(i + 1 < kN ? i + 1 : i);
+            v[static_cast<std::size_t>(i)] =
+                0.5 * u[static_cast<std::size_t>(i)] +
+                0.25 * (u[l] + u[r]) + 1e-6 * iter;
+          }
+        },
+        std::span<const tdg::Depend>(deps));
+  }
+  // Swap roles next iteration by emitting the reverse copy.
+  for (int b = 0; b < kBlocks; ++b) {
+    const std::int64_t lo = b * bs, hi = lo + bs;
+    rt.submit(
+        [&u, &v, lo, hi] {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            u[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)];
+          }
+        },
+        {Depend::in(&v[static_cast<std::size_t>(lo)]),
+         Depend::out(&u[static_cast<std::size_t>(lo)])});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> u(kN, 1.0), v(kN, 0.0);
+
+  std::printf("rediscovery every iteration:\n  discovery (us):");
+  {
+    tdg::Runtime rt({.num_threads = 4});
+    for (int it = 0; it < kIterations; ++it) {
+      rt.reset_stats();
+      emit_stencil_iteration(rt, u, v, it);
+      rt.taskwait();
+      std::printf(" %.0f", rt.stats().discovery_seconds() * 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::fill(u.begin(), u.end(), 1.0);
+  std::printf("persistent task sub-graph:\n  discovery (us):");
+  {
+    tdg::Runtime rt({.num_threads = 4});
+    tdg::PersistentRegion region(rt);
+    for (int it = 0; it < kIterations; ++it) {
+      region.begin_iteration();
+      emit_stencil_iteration(rt, u, v, it);
+      region.end_iteration();
+    }
+    for (double d : region.discovery_seconds()) {
+      std::printf(" %.0f", d * 1e6);
+    }
+    std::printf("\n  (first iteration discovers the graph; replays only "
+                "update firstprivate data)\n");
+  }
+  std::printf("u[0] after %d iterations: %.6f\n", kIterations, u[0]);
+  return 0;
+}

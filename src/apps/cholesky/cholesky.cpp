@@ -1,0 +1,170 @@
+#include <cmath>
+
+#include "apps/cholesky/cholesky.hpp"
+
+namespace tdg::apps::cholesky {
+
+namespace k = kernels;
+
+TiledMatrix::TiledMatrix(int nt_, int b_) : nt(nt_), b(b_) {
+  tiles.assign(static_cast<std::size_t>(nt) * nt,
+               std::vector<double>(static_cast<std::size_t>(b) * b, 0.0));
+}
+
+void TiledMatrix::fill_spd() {
+  const std::int64_t N = n();
+  for (int ti = 0; ti < nt; ++ti) {
+    for (int tj = 0; tj < nt; ++tj) {
+      auto& t = tile(ti, tj);
+      for (int r = 0; r < b; ++r) {
+        for (int c = 0; c < b; ++c) {
+          const std::int64_t gi = static_cast<std::int64_t>(ti) * b + r;
+          const std::int64_t gj = static_cast<std::int64_t>(tj) * b + c;
+          double v = 1.0 / (1.0 + static_cast<double>(std::llabs(gi - gj)));
+          if (gi == gj) v += static_cast<double>(N);
+          t[static_cast<std::size_t>(r) * static_cast<std::size_t>(b) + c] = v;
+        }
+      }
+    }
+  }
+}
+
+double TiledMatrix::reconstruction_error(const TiledMatrix& ref) const {
+  const std::int64_t N = n();
+  auto lower = [&](std::int64_t gi, std::int64_t gj) -> double {
+    if (gj > gi) return 0.0;
+    const auto& t = tile(static_cast<int>(gi / b), static_cast<int>(gj / b));
+    return t[static_cast<std::size_t>(gi % b) * static_cast<std::size_t>(b) +
+             static_cast<std::size_t>(gj % b)];
+  };
+  auto orig = [&](std::int64_t gi, std::int64_t gj) -> double {
+    const auto& t =
+        ref.tile(static_cast<int>(gi / b), static_cast<int>(gj / b));
+    return t[static_cast<std::size_t>(gi % b) * static_cast<std::size_t>(b) +
+             static_cast<std::size_t>(gj % b)];
+  };
+  double err = 0;
+  for (std::int64_t i = 0; i < N; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::int64_t kk = 0; kk <= j; ++kk) s += lower(i, kk) * lower(j, kk);
+      err = std::max(err, std::fabs(s - orig(i, j)));
+    }
+  }
+  return err;
+}
+
+void run_reference(TiledMatrix& a) {
+  const int nt = a.nt;
+  for (int kt = 0; kt < nt; ++kt) {
+    k::potrf(a.tile(kt, kt), a.b);
+    for (int i = kt + 1; i < nt; ++i) k::trsm(a.tile(kt, kt), a.tile(i, kt), a.b);
+    for (int i = kt + 1; i < nt; ++i) {
+      for (int j = kt + 1; j <= i; ++j) {
+        if (i == j) {
+          k::syrk(a.tile(i, kt), a.tile(i, i), a.b);
+        } else {
+          k::gemm(a.tile(i, kt), a.tile(j, kt), a.tile(i, j), a.b);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+constexpr LAddr T(const TiledMatrix& a, int i, int j) {
+  return static_cast<LAddr>(i) * static_cast<LAddr>(a.nt) +
+         static_cast<LAddr>(j);
+}
+// Tile-kernel cost hints for the simulator (O(b^3) flops at ~2 flops/ns).
+double tile_secs(int b) {
+  return static_cast<double>(b) * b * b * 0.5e-9;
+}
+std::uint64_t tile_bytes(int b) {
+  return static_cast<std::uint64_t>(b) * static_cast<std::uint64_t>(b) * 8;
+}
+}  // namespace
+
+void emit_factorization(Emitter& em, TiledMatrix& a, bool refill) {
+  TiledMatrix* m = &a;
+  const int nt = a.nt;
+  const int b = a.b;
+  const double secs = tile_secs(b);
+  const std::uint64_t bytes = tile_bytes(b);
+  if (refill) {
+    for (int i = 0; i < nt; ++i) {
+      for (int j = 0; j < nt; ++j) {
+        em.compute("InitTile", {LDep::out(T(a, i, j))}, secs * 0.1, bytes,
+                   [m, i, j] {
+                     // Re-fill only this tile (same values as fill_spd).
+                     const std::int64_t N = m->n();
+                     auto& t = m->tile(i, j);
+                     for (int r = 0; r < m->b; ++r) {
+                       for (int c = 0; c < m->b; ++c) {
+                         const std::int64_t gi =
+                             static_cast<std::int64_t>(i) * m->b + r;
+                         const std::int64_t gj =
+                             static_cast<std::int64_t>(j) * m->b + c;
+                         double v = 1.0 / (1.0 + static_cast<double>(
+                                                     std::llabs(gi - gj)));
+                         if (gi == gj) v += static_cast<double>(N);
+                         t[static_cast<std::size_t>(r) *
+                               static_cast<std::size_t>(m->b) +
+                           c] = v;
+                       }
+                     }
+                   });
+      }
+    }
+  }
+  for (int kt = 0; kt < nt; ++kt) {
+    em.compute("potrf", {LDep::inout(T(a, kt, kt))}, secs, bytes,
+               [m, kt] { k::potrf(m->tile(kt, kt), m->b); });
+    for (int i = kt + 1; i < nt; ++i) {
+      em.compute("trsm", {LDep::in(T(a, kt, kt)), LDep::inout(T(a, i, kt))},
+                 secs, 2 * bytes, [m, i, kt] {
+                   k::trsm(m->tile(kt, kt), m->tile(i, kt), m->b);
+                 });
+    }
+    for (int i = kt + 1; i < nt; ++i) {
+      for (int j = kt + 1; j <= i; ++j) {
+        if (i == j) {
+          em.compute("syrk",
+                     {LDep::in(T(a, i, kt)), LDep::inout(T(a, i, i))}, secs,
+                     2 * bytes, [m, i, kt] {
+                       k::syrk(m->tile(i, kt), m->tile(i, i), m->b);
+                     });
+        } else {
+          em.compute("gemm",
+                     {LDep::in(T(a, i, kt)), LDep::in(T(a, j, kt)),
+                      LDep::inout(T(a, i, j))},
+                     secs, 3 * bytes, [m, i, j, kt] {
+                       k::gemm(m->tile(i, kt), m->tile(j, kt),
+                               m->tile(i, j), m->b);
+                     });
+        }
+      }
+    }
+  }
+}
+
+void run_taskbased(Runtime& rt, TiledMatrix& a, const Config& cfg,
+                   bool persistent) {
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  RuntimeEmitter em(rt, opts);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_factorization(em, a, /*refill=*/cfg.iterations > 1);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
+std::uint64_t kernel_count(int nt) {
+  const std::uint64_t n = static_cast<std::uint64_t>(nt);
+  return n + n * (n - 1) / 2 + n * (n - 1) / 2 + n * (n - 1) * (n - 2) / 6;
+}
+
+}  // namespace tdg::apps::cholesky

@@ -1,0 +1,68 @@
+// Tile-based right-looking Cholesky factorization (Section 4.4): one task
+// per tile kernel (POTRF / TRSM / SYRK / GEMM) with per-tile dependences.
+// Its dense, regular dependency scheme is the paper's contrast case: the
+// edge optimizations (a,b,c) change nothing, while persistence (p) gives an
+// asymptotic discovery speedup with no total-time impact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common/emitter.hpp"
+#include "core/runtime.hpp"
+
+namespace tdg::apps::cholesky {
+
+struct Config {
+  int nt = 4;       ///< tiles per dimension
+  int b = 16;       ///< tile edge (tile = b x b doubles, row-major)
+  int iterations = 1;  ///< repeated factorizations (PTSG scenario)
+};
+
+/// A symmetric positive definite matrix stored as nt x nt tiles of b x b.
+struct TiledMatrix {
+  TiledMatrix(int nt, int b);
+
+  int nt, b;
+  std::vector<std::vector<double>> tiles;  ///< tiles[i * nt + j]
+
+  std::vector<double>& tile(int i, int j) {
+    return tiles[static_cast<std::size_t>(i * nt + j)];
+  }
+  const std::vector<double>& tile(int i, int j) const {
+    return tiles[static_cast<std::size_t>(i * nt + j)];
+  }
+  /// Deterministic SPD fill: A = base + n*I with base[i][j] = 1/(1+|i-j|).
+  void fill_spd();
+  /// Max |L L^T - ref|_ij over the full matrix, using the lower triangle
+  /// of this (factorized) matrix as L.
+  double reconstruction_error(const TiledMatrix& ref) const;
+
+  std::int64_t n() const { return static_cast<std::int64_t>(nt) * b; }
+};
+
+/// Serial reference factorization (same tile-op order as the task graph).
+void run_reference(TiledMatrix& a);
+
+/// Emit one factorization's task graph. When `refill` is set, per-tile
+/// init tasks re-fill the matrix first (the iterated-decomposition use).
+void emit_factorization(Emitter& em, TiledMatrix& a, bool refill);
+
+/// Task-based factorization; `iterations > 1` refactorizes the re-filled
+/// matrix, optionally under a persistent region.
+void run_taskbased(Runtime& rt, TiledMatrix& a, const Config& cfg,
+                   bool persistent);
+
+/// Number of tile kernels in one factorization (excluding init tasks):
+/// nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + nt(nt-1)(nt-2)/6 gemm.
+std::uint64_t kernel_count(int nt);
+
+namespace kernels {
+void potrf(std::vector<double>& a, int b);
+void trsm(const std::vector<double>& l, std::vector<double>& x, int b);
+void syrk(const std::vector<double>& a, std::vector<double>& c, int b);
+void gemm(const std::vector<double>& a, const std::vector<double>& bm,
+          std::vector<double>& c, int b);
+}  // namespace kernels
+
+}  // namespace tdg::apps::cholesky

@@ -1,0 +1,415 @@
+#include <cmath>
+
+#include "apps/hpcg/hpcg.hpp"
+
+namespace tdg::apps::hpcg {
+
+namespace {
+
+// Logical dependency addresses.
+constexpr LAddr kStride = 1 << 20;
+enum Field : LAddr {
+  FX, FR, FP, FAP,
+  FPARTA, FPARTB,            // dot partial fan-in (inoutset)
+  FPAP, FPAPL, FPAPG,
+  FRTZ, FRTZNEW, FRTZL, FRTZG,
+  FALPHA, FBETA,
+  FGHD, FGHU, FSBD, FSBU, FRBD, FRBU,
+};
+constexpr LAddr A(Field f, int b = 0) {
+  return static_cast<LAddr>(f) * kStride + static_cast<LAddr>(b);
+}
+
+constexpr int kTagUpward = 10;    // top plane travelling to rank+1
+constexpr int kTagDownward = 11;  // bottom plane travelling to rank-1
+
+struct Blocking {
+  std::int64_t nrows;
+  int tpl;
+  std::int64_t lo(int b) const { return nrows * b / tpl; }
+  std::int64_t hi(int b) const { return nrows * (b + 1) / tpl; }
+  int block_of(std::int64_t row) const {
+    int b = static_cast<int>(row * tpl / nrows);
+    while (b > 0 && lo(b) > row) --b;
+    while (b + 1 < tpl && hi(b) <= row) ++b;
+    return b;
+  }
+};
+
+// ---- kernels ---------------------------------------------------------------
+
+void spmv_rows(const Problem& prob, const std::vector<double>& in,
+               std::vector<double>& out, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t off = prob.plane();
+  for (std::int64_t row = lo; row < hi; ++row) {
+    double acc = 0;
+    for (std::int64_t k = prob.a.row_ptr[static_cast<std::size_t>(row)];
+         k < prob.a.row_ptr[static_cast<std::size_t>(row) + 1]; ++k) {
+      acc += prob.a.vals[static_cast<std::size_t>(k)] *
+             in[static_cast<std::size_t>(
+                 prob.a.cols[static_cast<std::size_t>(k)])];
+    }
+    out[static_cast<std::size_t>(off + row)] = acc;
+  }
+}
+
+double dot_rows(const Problem& prob, const std::vector<double>& u,
+                const std::vector<double>& v, std::int64_t lo,
+                std::int64_t hi) {
+  const std::int64_t off = prob.plane();
+  double acc = 0;
+  for (std::int64_t row = lo; row < hi; ++row) {
+    acc += u[static_cast<std::size_t>(off + row)] *
+           v[static_cast<std::size_t>(off + row)];
+  }
+  return acc;
+}
+
+double sum_parts(const std::vector<double>& parts) {
+  double acc = 0;
+  for (double p : parts) acc += p;
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serial reference (same blocked dot association as the task version)
+// ---------------------------------------------------------------------------
+
+void run_reference(const Problem& prob, CgState& st, const Config& cfg) {
+  const Blocking blk{prob.nrows(), cfg.tpl};
+  const std::int64_t off = prob.plane();
+  const std::int64_t n = prob.nrows();
+  for (std::int64_t row = 0; row < n; ++row) {
+    const auto u = static_cast<std::size_t>(off + row);
+    st.r[u] = prob.b[static_cast<std::size_t>(row)];
+    st.p[u] = st.r[u];
+  }
+  for (int b = 0; b < cfg.tpl; ++b) {
+    st.part_b[static_cast<std::size_t>(b)] =
+        dot_rows(prob, st.r, st.r, blk.lo(b), blk.hi(b));
+  }
+  st.rtz = sum_parts(st.part_b);
+  for (int it = 0; it < cfg.cg_iterations; ++it) {
+    spmv_rows(prob, st.p, st.ap, 0, n);
+    for (int b = 0; b < cfg.tpl; ++b) {
+      st.part_a[static_cast<std::size_t>(b)] =
+          dot_rows(prob, st.p, st.ap, blk.lo(b), blk.hi(b));
+    }
+    st.pap = sum_parts(st.part_a);
+    st.alpha = st.rtz / st.pap;
+    for (std::int64_t row = 0; row < n; ++row) {
+      const auto u = static_cast<std::size_t>(off + row);
+      st.x[u] += st.alpha * st.p[u];
+      st.r[u] -= st.alpha * st.ap[u];
+    }
+    for (int b = 0; b < cfg.tpl; ++b) {
+      st.part_b[static_cast<std::size_t>(b)] =
+          dot_rows(prob, st.r, st.r, blk.lo(b), blk.hi(b));
+    }
+    st.rtz_new = sum_parts(st.part_b);
+    st.beta = st.rtz_new / st.rtz;
+    st.rtz = st.rtz_new;
+    st.residual_history.push_back(std::sqrt(st.rtz_new));
+    for (std::int64_t row = 0; row < n; ++row) {
+      const auto u = static_cast<std::size_t>(off + row);
+      st.p[u] = st.r[u] + st.beta * st.p[u];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task emission
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Deps of a vector range read in TPL blocking.
+void range_blocks(std::vector<LDep>& deps, Field f, const Blocking& blk,
+                  std::int64_t lo, std::int64_t hi, DependType type) {
+  if (lo >= hi) return;
+  const int b0 = blk.block_of(lo);
+  const int b1 = blk.block_of(hi - 1);
+  for (int b = b0; b <= b1; ++b) deps.push_back(LDep{A(f, b), type});
+}
+
+// Cost hints per row for the simulator.
+constexpr double kSpmvSecsPerRow = 27 * 4e-9;
+constexpr double kVecSecsPerRow = 40e-9;
+constexpr std::uint64_t kSpmvBytesPerRow = 27 * 12;  // vals+cols+x
+constexpr std::uint64_t kVecBytesPerRow = 24;
+
+}  // namespace
+
+void emit_init(Emitter& em, const Problem& prob, CgState& st,
+               const Config& cfg, ZHalo*) {
+  const Blocking blk{prob.nrows(), cfg.tpl};
+  const Problem* pr = &prob;
+  CgState* s = &st;
+  const std::int64_t off = prob.plane();
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("InitRP",
+               {LDep::out(A(FR, b)), LDep::out(A(FP, b)), LDep::out(A(FX, b))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [pr, s, lo, hi, off] {
+                 for (std::int64_t row = lo; row < hi; ++row) {
+                   const auto u = static_cast<std::size_t>(off + row);
+                   s->x[u] = 0.0;
+                   s->r[u] = pr->b[static_cast<std::size_t>(row)];
+                   s->p[u] = s->r[u];
+                 }
+               });
+  }
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("DotR0", {LDep::in(A(FR, b)), LDep::inoutset(A(FPARTB))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [pr, s, b, lo, hi] {
+                 s->part_b[static_cast<std::size_t>(b)] =
+                     dot_rows(*pr, s->r, s->r, lo, hi);
+               });
+  }
+  em.compute("ReduceRtz0", {LDep::in(A(FPARTB)), LDep::out(A(FRTZ))}, 1e-7, 0,
+             [s] { s->rtz = sum_parts(s->part_b); });
+}
+
+void emit_iteration(Emitter& em, const Problem& prob, CgState& st,
+                    const Config& cfg, std::uint32_t, ZHalo* halo) {
+  const Blocking blk{prob.nrows(), cfg.tpl};
+  const Problem* pr = &prob;
+  CgState* s = &st;
+  const std::int64_t n = prob.nrows();
+  const std::int64_t nxy = prob.plane();
+  const std::int64_t off = nxy;
+  const bool dist = cfg.distributed && halo != nullptr;
+
+  // ---- halo exchange of p (boundary planes, before SpMV) ------------------
+  if (dist && halo->down >= 0) {
+    const int peer = halo->down;
+    std::vector<LDep> d;
+    range_blocks(d, FP, blk, 0, nxy, DependType::In);
+    d.push_back(LDep::out(A(FSBD)));
+    em.compute("PackDown", std::span<const LDep>(d), 1e-7,
+               static_cast<std::uint64_t>(nxy) * 8, [s, off, nxy] {
+                 for (std::int64_t i = 0; i < nxy; ++i) {
+                   s->sbuf_down[static_cast<std::size_t>(i)] =
+                       s->p[static_cast<std::size_t>(off + i)];
+                 }
+               });
+    em.send("SendDown", {LDep::in(A(FSBD))}, st.sbuf_down.data(),
+            static_cast<std::uint64_t>(nxy) * 8, peer, kTagDownward);
+    em.recv("RecvDown", {LDep::out(A(FRBD))}, st.rbuf_down.data(),
+            static_cast<std::uint64_t>(nxy) * 8, peer, kTagUpward);
+    em.compute("UnpackDown", {LDep::in(A(FRBD)), LDep::out(A(FGHD))}, 1e-7,
+               static_cast<std::uint64_t>(nxy) * 8, [s, nxy] {
+                 for (std::int64_t i = 0; i < nxy; ++i) {
+                   s->p[static_cast<std::size_t>(i)] =
+                       s->rbuf_down[static_cast<std::size_t>(i)];
+                 }
+               });
+  }
+  if (dist && halo->up >= 0) {
+    const int peer = halo->up;
+    std::vector<LDep> d;
+    range_blocks(d, FP, blk, n - nxy, n, DependType::In);
+    d.push_back(LDep::out(A(FSBU)));
+    em.compute("PackUp", std::span<const LDep>(d), 1e-7,
+               static_cast<std::uint64_t>(nxy) * 8, [s, off, n, nxy] {
+                 for (std::int64_t i = 0; i < nxy; ++i) {
+                   s->sbuf_up[static_cast<std::size_t>(i)] =
+                       s->p[static_cast<std::size_t>(off + n - nxy + i)];
+                 }
+               });
+    em.send("SendUp", {LDep::in(A(FSBU))}, st.sbuf_up.data(),
+            static_cast<std::uint64_t>(nxy) * 8, peer, kTagUpward);
+    em.recv("RecvUp", {LDep::out(A(FRBU))}, st.rbuf_up.data(),
+            static_cast<std::uint64_t>(nxy) * 8, peer, kTagDownward);
+    em.compute("UnpackUp", {LDep::in(A(FRBU)), LDep::out(A(FGHU))}, 1e-7,
+               static_cast<std::uint64_t>(nxy) * 8, [s, off, n, nxy] {
+                 for (std::int64_t i = 0; i < nxy; ++i) {
+                   s->p[static_cast<std::size_t>(off + n + i)] =
+                       s->rbuf_up[static_cast<std::size_t>(i)];
+                 }
+               });
+  }
+
+  // ---- SpMV: ap = A p in sub-blocks (inoutset writers per vector block) ---
+  for (int sb = 0; sb < cfg.nspmv; ++sb) {
+    const std::int64_t lo = n * sb / cfg.nspmv;
+    const std::int64_t hi = n * (sb + 1) / cfg.nspmv;
+    std::vector<LDep> d;
+    range_blocks(d, FP, blk, std::max<std::int64_t>(0, lo - nxy),
+                 std::min(n, hi + nxy), DependType::In);
+    if (dist && halo->down >= 0 && lo < nxy) d.push_back(LDep::in(A(FGHD)));
+    if (dist && halo->up >= 0 && hi > n - nxy) {
+      d.push_back(LDep::in(A(FGHU)));
+    }
+    range_blocks(d, FAP, blk, lo, hi, DependType::InOutSet);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("SpMV", std::span<const LDep>(d), rows * kSpmvSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kSpmvBytesPerRow,
+               [pr, s, lo, hi] { spmv_rows(*pr, s->p, s->ap, lo, hi); });
+  }
+
+  // ---- dot(p, Ap) ----------------------------------------------------------
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("DotPAp",
+               {LDep::in(A(FP, b)), LDep::in(A(FAP, b)),
+                LDep::inoutset(A(FPARTA))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [pr, s, b, lo, hi] {
+                 s->part_a[static_cast<std::size_t>(b)] =
+                     dot_rows(*pr, s->p, s->ap, lo, hi);
+               });
+  }
+  if (dist) {
+    em.compute("ReducePApLocal", {LDep::in(A(FPARTA)), LDep::out(A(FPAPL))},
+               1e-7, 0, [s] { s->pap_local = sum_parts(s->part_a); });
+    em.allreduce("Allreduce(pAp)", {LDep::in(A(FPAPL)), LDep::out(A(FPAPG))},
+                 &st.pap_local, &st.pap_global, 1, mpi::Op::Sum);
+    em.compute("CommitPAp", {LDep::in(A(FPAPG)), LDep::out(A(FPAP))}, 1e-7, 0,
+               [s] { s->pap = s->pap_global; });
+  } else {
+    em.compute("ReducePAp", {LDep::in(A(FPARTA)), LDep::out(A(FPAP))}, 1e-7,
+               0, [s] { s->pap = sum_parts(s->part_a); });
+  }
+
+  // ---- alpha and vector updates ---------------------------------------------
+  em.compute("Alpha",
+             {LDep::in(A(FPAP)), LDep::in(A(FRTZ)), LDep::out(A(FALPHA))},
+             1e-7, 0, [s] { s->alpha = s->rtz / s->pap; });
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("AxpyX",
+               {LDep::in(A(FALPHA)), LDep::in(A(FP, b)),
+                LDep::inout(A(FX, b))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [s, off, lo, hi] {
+                 for (std::int64_t row = lo; row < hi; ++row) {
+                   const auto u = static_cast<std::size_t>(off + row);
+                   s->x[u] += s->alpha * s->p[u];
+                 }
+               });
+    em.compute("AxpyR",
+               {LDep::in(A(FALPHA)), LDep::in(A(FAP, b)),
+                LDep::inout(A(FR, b))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [s, off, lo, hi] {
+                 for (std::int64_t row = lo; row < hi; ++row) {
+                   const auto u = static_cast<std::size_t>(off + row);
+                   s->r[u] -= s->alpha * s->ap[u];
+                 }
+               });
+  }
+
+  // ---- dot(r, r) --------------------------------------------------------------
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("DotRR",
+               {LDep::in(A(FR, b)), LDep::inoutset(A(FPARTB))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [pr, s, b, lo, hi] {
+                 s->part_b[static_cast<std::size_t>(b)] =
+                     dot_rows(*pr, s->r, s->r, lo, hi);
+               });
+  }
+  if (dist) {
+    em.compute("ReduceRtzLocal", {LDep::in(A(FPARTB)), LDep::out(A(FRTZL))},
+               1e-7, 0, [s] { s->rtz_local = sum_parts(s->part_b); });
+    em.allreduce("Allreduce(rtz)", {LDep::in(A(FRTZL)), LDep::out(A(FRTZG))},
+                 &st.rtz_local, &st.rtz_global, 1, mpi::Op::Sum);
+    em.compute("CommitRtz", {LDep::in(A(FRTZG)), LDep::out(A(FRTZNEW))},
+               1e-7, 0, [s] { s->rtz_new = s->rtz_global; });
+  } else {
+    em.compute("ReduceRtz", {LDep::in(A(FPARTB)), LDep::out(A(FRTZNEW))},
+               1e-7, 0, [s] { s->rtz_new = sum_parts(s->part_b); });
+  }
+
+  // ---- beta and direction update -----------------------------------------------
+  em.compute("Beta",
+             {LDep::in(A(FRTZNEW)), LDep::inout(A(FRTZ)),
+              LDep::out(A(FBETA))},
+             1e-7, 0, [s] {
+               s->beta = s->rtz_new / s->rtz;
+               s->rtz = s->rtz_new;
+               s->residual_history.push_back(std::sqrt(s->rtz_new));
+             });
+  for (int b = 0; b < cfg.tpl; ++b) {
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    const double rows = static_cast<double>(hi - lo) * cfg.sim_scale;
+    em.compute("Waxpby",
+               {LDep::in(A(FBETA)), LDep::in(A(FR, b)),
+                LDep::inout(A(FP, b))},
+               rows * kVecSecsPerRow,
+               static_cast<std::uint64_t>(rows) * kVecBytesPerRow,
+               [s, off, lo, hi] {
+                 for (std::int64_t row = lo; row < hi; ++row) {
+                   const auto u = static_cast<std::size_t>(off + row);
+                   s->p[u] = s->r[u] + s->beta * s->p[u];
+                 }
+               });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+void run_taskbased(Runtime& rt, const Problem& prob, CgState& st,
+                   const Config& cfg, bool persistent) {
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  RuntimeEmitter em(rt, opts);
+  emit_init(em, prob, st, cfg, nullptr);
+  rt.taskwait();  // the init phase is not part of the iterated region
+  for (int it = 0; it < cfg.cg_iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, prob, st, cfg, static_cast<std::uint32_t>(it),
+                     nullptr);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     const Problem& prob, CgState& st, const Config& cfg,
+                     bool persistent) {
+  Config dcfg = cfg;
+  dcfg.distributed = true;
+  ZHalo halo;
+  halo.down = comm.rank() > 0 ? comm.rank() - 1 : -1;
+  halo.up = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  RuntimeEmitter em(rt, comm, poller, opts);
+  emit_init(em, prob, st, dcfg, &halo);
+  rt.taskwait();
+  // Initial rtz must be global.
+  double local = st.rtz;
+  comm.allreduce(&local, &st.rtz, 1, mpi::Op::Sum);
+  for (int it = 0; it < dcfg.cg_iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, prob, st, dcfg, static_cast<std::uint32_t>(it),
+                     &halo);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
+}  // namespace tdg::apps::hpcg

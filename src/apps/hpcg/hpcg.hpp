@@ -1,0 +1,105 @@
+// hpcg-mini: the High Performance Conjugate Gradient benchmark skeleton —
+// a 27-point stencil operator on a 3D lattice and an (unpreconditioned)
+// CG solve, task-parallelized as in Section 4.3: vector-wise operations
+// split into TPL blocks, SpMV into sub-blocks, dot products reduced through
+// inoutset fan-in tasks and an MPI allreduce, halo exchange of boundary
+// planes under a 1D z decomposition.
+//
+// b is the operator's row sums, so the exact solution is x = 1: a
+// convergence check that needs no external data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common/emitter.hpp"
+#include "core/runtime.hpp"
+#include "mpi/interop.hpp"
+#include "mpi/mpi.hpp"
+
+namespace tdg::apps::hpcg {
+
+struct Config {
+  int nx = 16, ny = 16;
+  int nz_global = 16;
+  int cg_iterations = 25;
+  int tpl = 8;    ///< vector blocks (the Fig. 9 sweep parameter)
+  int nspmv = 4;  ///< SpMV sub-blocks (fixed to 32 in the paper)
+  bool distributed = false;
+  /// Simulator cost scaling: each row stands for `sim_scale` rows of the
+  /// modelled problem (grain/bytes hints multiplied; structure unchanged).
+  double sim_scale = 1.0;
+};
+
+/// CSR operator for the local partition (rows = interior lattice points,
+/// columns index the local vector layout including ghost planes).
+struct CsrMatrix {
+  std::int64_t nrows = 0;
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int64_t> cols;
+  std::vector<double> vals;
+};
+
+/// One rank's share of the problem: rows for z in [z_offset,
+/// z_offset + nz_local) of a global nx*ny*nz_global lattice. Vectors hold
+/// nz_local + 2 planes; plane 0 and plane nz_local+1 are ghosts.
+struct Problem {
+  int nx = 0, ny = 0, nz_local = 0, nz_global = 0;
+  std::int64_t z_offset = 0;
+  CsrMatrix a;
+  std::vector<double> b;  ///< rhs (row sums), interior rows only
+
+  std::int64_t nrows() const {
+    return static_cast<std::int64_t>(nx) * ny * nz_local;
+  }
+  std::int64_t plane() const { return static_cast<std::int64_t>(nx) * ny; }
+  std::int64_t vec_len() const { return plane() * (nz_local + 2); }
+};
+
+Problem build_problem(const Config& cfg, int rank = 0, int nranks = 1);
+
+/// CG working state. Vectors use the ghost-plane layout; interior row r
+/// lives at index r + plane().
+struct CgState {
+  explicit CgState(const Problem& prob, int tpl);
+
+  std::vector<double> x, r, p, ap;
+  std::vector<double> part_a;  ///< per-block partials, dot(p, Ap)
+  std::vector<double> part_b;  ///< per-block partials, dot(r, r)
+  double pap = 0, rtz = 0, rtz_new = 0, alpha = 0, beta = 0;
+  // Distributed reduction slots (allreduce inputs/outputs).
+  double pap_local = 0, pap_global = 0;
+  double rtz_local = 0, rtz_global = 0;
+  std::vector<double> sbuf_down, sbuf_up, rbuf_down, rbuf_up;
+  std::vector<double> residual_history;  ///< sqrt(rtz) per iteration
+};
+
+/// Halo topology for the 1D z decomposition.
+struct ZHalo {
+  int down = -1, up = -1;
+};
+
+/// Serial reference CG with the same blocked dot-product association as
+/// the task version (bit-comparable for equal tpl).
+void run_reference(const Problem& prob, CgState& st, const Config& cfg);
+
+/// Emit the init phase (r = b, p = r, rtz = dot(r,r)).
+void emit_init(Emitter& em, const Problem& prob, CgState& st,
+               const Config& cfg, ZHalo* halo);
+/// Emit one CG iteration.
+void emit_iteration(Emitter& em, const Problem& prob, CgState& st,
+                    const Config& cfg, std::uint32_t iter, ZHalo* halo);
+
+/// Shared-memory task-based solve.
+void run_taskbased(Runtime& rt, const Problem& prob, CgState& st,
+                   const Config& cfg, bool persistent);
+
+/// Distributed task-based solve (communications inside the TDG).
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     const Problem& prob, CgState& st, const Config& cfg,
+                     bool persistent);
+
+/// Max |x_i - 1| over interior rows (exact solution is all-ones).
+double solution_error(const Problem& prob, const CgState& st);
+
+}  // namespace tdg::apps::hpcg

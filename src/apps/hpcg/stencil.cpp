@@ -1,0 +1,93 @@
+#include "apps/hpcg/hpcg.hpp"
+
+#include "core/common.hpp"
+
+namespace tdg::apps::hpcg {
+
+Problem build_problem(const Config& cfg, int rank, int nranks) {
+  TDG_CHECK(cfg.nz_global >= nranks, "more ranks than z planes");
+  Problem prob;
+  prob.nx = cfg.nx;
+  prob.ny = cfg.ny;
+  prob.nz_global = cfg.nz_global;
+  // Contiguous z slabs, remainder to the low ranks (HPCG-style).
+  const int base = cfg.nz_global / nranks;
+  const int extra = cfg.nz_global % nranks;
+  prob.nz_local = base + (rank < extra ? 1 : 0);
+  prob.z_offset = static_cast<std::int64_t>(rank) * base +
+                  std::min(rank, extra);
+
+  const std::int64_t nxy = prob.plane();
+  const std::int64_t nrows = prob.nrows();
+  CsrMatrix& a = prob.a;
+  a.nrows = nrows;
+  a.row_ptr.reserve(static_cast<std::size_t>(nrows) + 1);
+  a.row_ptr.push_back(0);
+  a.cols.reserve(static_cast<std::size_t>(nrows) * 27);
+  a.vals.reserve(static_cast<std::size_t>(nrows) * 27);
+  prob.b.assign(static_cast<std::size_t>(nrows), 0.0);
+
+  for (int z = 0; z < prob.nz_local; ++z) {
+    const std::int64_t gz = prob.z_offset + z;
+    for (int y = 0; y < prob.ny; ++y) {
+      for (int x = 0; x < prob.nx; ++x) {
+        double row_sum = 0;
+        for (int dz = -1; dz <= 1; ++dz) {
+          const std::int64_t ngz = gz + dz;
+          if (ngz < 0 || ngz >= prob.nz_global) continue;
+          for (int dy = -1; dy <= 1; ++dy) {
+            const int ny_ = y + dy;
+            if (ny_ < 0 || ny_ >= prob.ny) continue;
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int nx_ = x + dx;
+              if (nx_ < 0 || nx_ >= prob.nx) continue;
+              // Column in the local ghost-plane layout: local z plane
+              // index is z + dz + 1 (plane 0 is the down ghost).
+              const std::int64_t col =
+                  (static_cast<std::int64_t>(z + dz + 1)) * nxy +
+                  static_cast<std::int64_t>(ny_) * prob.nx + nx_;
+              const double val =
+                  (dz == 0 && dy == 0 && dx == 0) ? 26.0 : -1.0;
+              a.cols.push_back(col);
+              a.vals.push_back(val);
+              row_sum += val;
+            }
+          }
+        }
+        a.row_ptr.push_back(static_cast<std::int64_t>(a.cols.size()));
+        const std::int64_t row =
+            static_cast<std::int64_t>(z) * nxy +
+            static_cast<std::int64_t>(y) * prob.nx + x;
+        prob.b[static_cast<std::size_t>(row)] = row_sum;
+      }
+    }
+  }
+  return prob;
+}
+
+CgState::CgState(const Problem& prob, int tpl) {
+  const auto len = static_cast<std::size_t>(prob.vec_len());
+  x.assign(len, 0.0);
+  r.assign(len, 0.0);
+  p.assign(len, 0.0);
+  ap.assign(len, 0.0);
+  part_a.assign(static_cast<std::size_t>(tpl), 0.0);
+  part_b.assign(static_cast<std::size_t>(tpl), 0.0);
+  const auto nxy = static_cast<std::size_t>(prob.plane());
+  sbuf_down.assign(nxy, 0.0);
+  sbuf_up.assign(nxy, 0.0);
+  rbuf_down.assign(nxy, 0.0);
+  rbuf_up.assign(nxy, 0.0);
+}
+
+double solution_error(const Problem& prob, const CgState& st) {
+  const std::int64_t off = prob.plane();
+  double err = 0;
+  for (std::int64_t rrow = 0; rrow < prob.nrows(); ++rrow) {
+    const double d = st.x[static_cast<std::size_t>(off + rrow)] - 1.0;
+    err = std::max(err, d < 0 ? -d : d);
+  }
+  return err;
+}
+
+}  // namespace tdg::apps::hpcg

@@ -1,0 +1,120 @@
+#include "apps/lulesh/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdg::apps::lulesh::kernels {
+
+namespace {
+constexpr double kHgCoef = 3.0e-2;       // hourglass damping
+constexpr double kVelocityCutoff = 1e-12;
+constexpr double kQCoef = 2.0;           // quadratic viscosity coefficient
+constexpr double kGamma = 1.4;           // EOS gamma
+constexpr double kEMin = 1e-12;
+constexpr double kVMin = 1e-6;
+constexpr double kCfl = 0.4;
+constexpr double kDtGrowth = 1.1;
+constexpr double kDtMax = 1e-2;
+}  // namespace
+
+void stress_force(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.f[u] = -(m.p[u] + m.q[u]) * m.arealg[u];
+  }
+}
+
+void hourglass_force(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.f[u] += kHgCoef * (m.x[u - 1] - 2.0 * m.x[u] + m.x[u + 1]) * m.mass[u];
+  }
+}
+
+void acceleration(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.xdd[u] = m.f[u] / m.mass[u];
+  }
+}
+
+void boundary(Mesh& m, std::int64_t lo, std::int64_t hi, bool global_first,
+              bool global_last) {
+  if (global_first && lo <= 1 && 1 < hi) m.xdd[1] = 0.0;
+  if (global_last && lo <= m.n && m.n < hi) {
+    m.xdd[static_cast<std::size_t>(m.n)] = 0.0;
+  }
+}
+
+void velocity(Mesh& m, std::int64_t lo, std::int64_t hi, double dt) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    double xdnew = m.xd[u] + m.xdd[u] * dt;
+    if (std::fabs(xdnew) < kVelocityCutoff) xdnew = 0.0;
+    m.xd[u] = xdnew;
+  }
+}
+
+void position(Mesh& m, std::int64_t lo, std::int64_t hi, double dt) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.x[u] += m.xd[u] * dt;
+  }
+}
+
+void kinematics(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  const double dx0 = m.dx0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const double relv =
+        std::max(kVMin, (m.x[u + 1] - m.x[u - 1]) / (2.0 * dx0));
+    m.delv[u] = relv - m.v[u];
+    m.v[u] = relv;
+    m.arealg[u] = std::max(kVMin * dx0, relv * dx0);
+  }
+}
+
+void viscosity(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const double compression = std::min(0.0, m.delv[u]);
+    m.q[u] = kQCoef * compression * compression / std::max(m.v[u], kVMin);
+  }
+}
+
+void eos(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.e[u] = std::max(kEMin, m.e[u] - (m.p[u] + m.q[u]) * m.delv[u]);
+    m.p[u] = (kGamma - 1.0) * m.e[u] / std::max(m.v[u], kVMin);
+  }
+}
+
+void sound_speed(Mesh& m, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    m.ss[u] =
+        std::sqrt(std::max(kEMin, kGamma * m.p[u] / std::max(m.v[u], kVMin)));
+  }
+}
+
+double local_dt(const Mesh& m, std::int64_t lo, std::int64_t hi) {
+  double dt = kDtMax;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    dt = std::min(dt, kCfl * m.arealg[u] / std::max(m.ss[u], kEMin));
+  }
+  return dt;
+}
+
+double apply_dt_bounds(double reduced, double prev_dt) {
+  return std::min({reduced, prev_dt * kDtGrowth, kDtMax});
+}
+
+void clamp_left_ghost(Mesh& m) { m.x[0] = m.x[1]; }
+
+void clamp_right_ghost(Mesh& m) {
+  m.x[static_cast<std::size_t>(m.n) + 1] = m.x[static_cast<std::size_t>(m.n)];
+}
+
+}  // namespace tdg::apps::lulesh::kernels

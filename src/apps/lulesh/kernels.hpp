@@ -1,0 +1,50 @@
+// lulesh-mini block kernels. Every kernel updates a contiguous index range
+// [lo, hi) (1-based interior indices) with elementwise or fixed-stencil
+// arithmetic, so results are independent of the blocking (TPL) and the
+// task / parallel-for / serial variants are exactly comparable.
+//
+// The loop sequence mirrors a LULESH time step: stress and hourglass force
+// -> acceleration -> boundary conditions -> velocity -> position ->
+// kinematics -> artificial viscosity -> EOS -> sound speed -> dt courant
+// reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/lulesh/lulesh.hpp"
+
+namespace tdg::apps::lulesh::kernels {
+
+/// L1: f = -(p + q) * arealg (stress contribution).
+void stress_force(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L2: f += hg * (x[i-1] - 2 x[i] + x[i+1]) * mass (hourglass filter);
+/// reads the x stencil, including ghosts at the partition frontier.
+void hourglass_force(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L3: xdd = f / mass.
+void acceleration(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L4: symmetry boundary: zero acceleration at the global domain ends.
+/// `global_first`/`global_last` flag whether this rank owns them.
+void boundary(Mesh& m, std::int64_t lo, std::int64_t hi, bool global_first,
+              bool global_last);
+/// L5: xd += xdd * dt, with the LULESH small-velocity cutoff.
+void velocity(Mesh& m, std::int64_t lo, std::int64_t hi, double dt);
+/// L6: x += xd * dt.
+void position(Mesh& m, std::int64_t lo, std::int64_t hi, double dt);
+/// L7: kinematics: relative volume from the x stencil, delv, arealg.
+void kinematics(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L8: artificial viscosity from compression rate.
+void viscosity(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L9: energy + pressure update (ideal-gas-like EOS, positivity-guarded).
+void eos(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L10: sound speed from the updated state.
+void sound_speed(Mesh& m, std::int64_t lo, std::int64_t hi);
+/// L0: local courant/hydro dt constraint over [lo, hi).
+double local_dt(const Mesh& m, std::int64_t lo, std::int64_t hi);
+/// Combine the reduced dt constraint with the previous dt (growth cap).
+double apply_dt_bounds(double reduced, double prev_dt);
+
+/// Ghost handling at physical boundaries: zero-gradient extrapolation.
+void clamp_left_ghost(Mesh& m);
+void clamp_right_ghost(Mesh& m);
+
+}  // namespace tdg::apps::lulesh::kernels

@@ -1,0 +1,385 @@
+#include "apps/lulesh/lulesh.hpp"
+
+#include <algorithm>
+
+#include "apps/lulesh/kernels.hpp"
+
+namespace tdg::apps::lulesh {
+
+namespace {
+
+namespace k = kernels;
+
+// Logical dependency addresses: field id * stride + block index.
+constexpr LAddr kStride = 1 << 20;
+enum Field : LAddr {
+  FX, FXD, FXDD, FF, FP, FQ, FE, FV, FDELV, FAREALG, FSS,
+  FDT, FDTLOCAL, FDTRED, FSSUM,
+  FGHOSTL, FGHOSTR, FSBUFL, FSBUFR, FRBUFL, FRBUFR,
+  kAliasBase = 64,  // optimization (a) disabled: redundant twin addresses
+};
+constexpr LAddr A(Field f, int b = 0) {
+  return static_cast<LAddr>(f) * kStride + static_cast<LAddr>(b);
+}
+constexpr LAddr Alias(Field f, int b = 0) {
+  return (static_cast<LAddr>(f) + kAliasBase) * kStride +
+         static_cast<LAddr>(b);
+}
+
+constexpr int kTagToRight = 1;  // message x[n] -> right neighbour
+constexpr int kTagToLeft = 2;   // message x[1] -> left neighbour
+
+/// Depend-clause builder; duplicates every item on an alias address when
+/// optimization (a) is disabled (the Fig. 3 redundant-dependence pattern).
+struct Deps {
+  explicit Deps(bool minimized) : minimized_(minimized) {}
+  Deps& in(Field f, int b = 0) { return add(f, b, DependType::In); }
+  Deps& out(Field f, int b = 0) { return add(f, b, DependType::Out); }
+  Deps& inout(Field f, int b = 0) { return add(f, b, DependType::InOut); }
+  Deps& inoutset(Field f, int b = 0) {
+    return add(f, b, DependType::InOutSet);
+  }
+  std::span<const LDep> span() const { return v_; }
+
+ private:
+  Deps& add(Field f, int b, DependType t) {
+    v_.push_back(LDep{A(f, b), t});
+    if (!minimized_) v_.push_back(LDep{Alias(f, b), t});
+    return *this;
+  }
+  std::vector<LDep> v_;
+  bool minimized_;
+};
+
+struct Blocking {
+  std::int64_t n;
+  int tpl;
+  std::int64_t lo(int b) const {
+    return 1 + n * b / tpl;
+  }
+  std::int64_t hi(int b) const { return 1 + n * (b + 1) / tpl; }
+};
+
+/// Reads of the position stencil x[lo-1 .. hi]: own block, neighbours,
+/// ghosts at the partition frontier.
+void x_stencil(Deps& d, int b, int tpl) {
+  d.in(FX, b);
+  if (b > 0) d.in(FX, b - 1); else d.in(FGHOSTL);
+  if (b < tpl - 1) d.in(FX, b + 1); else d.in(FGHOSTR);
+}
+
+// Per-loop cost hints for the simulator (seconds and bytes per point).
+// Each lulesh-mini loop stands for ~3 LULESH loops, hence the per-point
+// figures are about 3x a single streaming kernel's.
+constexpr double kSecsPerPoint = 150e-9;
+constexpr std::uint64_t kBytesPerPoint = 350;
+
+}  // namespace
+
+namespace addr {
+LAddr x_block(int b) { return A(FX, b); }
+LAddr ss_summary() { return A(FSSUM); }
+}  // namespace addr
+
+void run_reference(Mesh& m, const Config& cfg) {
+  const std::int64_t lo = 1, hi = m.n + 1;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    m.dt = k::apply_dt_bounds(k::local_dt(m, lo, hi), m.dt);
+    m.time += m.dt;
+    k::stress_force(m, lo, hi);
+    k::hourglass_force(m, lo, hi);
+    k::acceleration(m, lo, hi);
+    k::boundary(m, lo, hi, true, true);
+    k::velocity(m, lo, hi, m.dt);
+    k::position(m, lo, hi, m.dt);
+    k::clamp_left_ghost(m);
+    k::clamp_right_ghost(m);
+    k::kinematics(m, lo, hi);
+    k::viscosity(m, lo, hi);
+    k::eos(m, lo, hi);
+    k::sound_speed(m, lo, hi);
+  }
+}
+
+void emit_iteration(Emitter& em, Mesh& mesh, const Config& cfg,
+                    std::uint32_t, Halo* halo) {
+  Mesh* m = &mesh;
+  const Blocking blk{mesh.n, cfg.tpl};
+  const bool min = cfg.minimized_deps;
+  const int tpl = cfg.tpl;
+  const bool global_first = halo == nullptr || halo->left < 0;
+  const bool global_last = halo == nullptr || halo->right < 0;
+
+  auto points = [&](int b) {
+    return static_cast<double>(blk.hi(b) - blk.lo(b)) * cfg.sim_scale;
+  };
+  auto est = [&](int b) { return points(b) * kSecsPerPoint; };
+  auto bytes = [&](int b) {
+    return static_cast<std::uint64_t>(points(b)) * kBytesPerPoint;
+  };
+
+  // The dt reduction is a light streaming min over ss/arealg, not a full
+  // physics loop: ~2 ns per point, 8 bytes per point.
+  const double est_full =
+      static_cast<double>(mesh.n) * cfg.sim_scale * 2e-9;
+  const auto bytes_full = static_cast<std::uint64_t>(
+      static_cast<double>(mesh.n) * cfg.sim_scale * 8.0);
+
+  // ---- L0: dt constraint reduction (the Listing-1 collective) -------------
+  if (cfg.distributed && halo != nullptr) {
+    Halo* h = halo;
+    {
+      Deps d(min);
+      d.in(FSSUM).out(FDTLOCAL);
+      em.compute("CalcLocalDt", d.span(), est_full, bytes_full,
+                 [m, h] { h->dt_local = k::local_dt(*m, 1, m->n + 1); });
+    }
+    {
+      Deps d(min);
+      d.in(FDTLOCAL).out(FDTRED);
+      em.allreduce("Allreduce(dt)", d.span(), &halo->dt_local, &halo->dt_red,
+                   1, mpi::Op::Min);
+    }
+    {
+      Deps d(min);
+      d.in(FDTRED).out(FDT);
+      em.compute("CommitDt", d.span(), 1e-7, 0, [m, h] {
+        m->dt = k::apply_dt_bounds(h->dt_red, m->dt);
+        m->time += m->dt;
+      });
+    }
+  } else {
+    Deps d(min);
+    d.in(FSSUM).out(FDT);
+    em.compute("CalcDt", d.span(), est_full, bytes_full, [m] {
+      m->dt = k::apply_dt_bounds(k::local_dt(*m, 1, m->n + 1), m->dt);
+      m->time += m->dt;
+    });
+  }
+
+  // ---- L1: stress force -----------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FP, b).in(FQ, b).in(FAREALG, b).out(FF, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("StressForce", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::stress_force(*m, lo, hi); });
+  }
+  // ---- L2: hourglass force ----------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    x_stencil(d, b, tpl);
+    d.inout(FF, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("HourglassForce", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::hourglass_force(*m, lo, hi); });
+  }
+  // ---- L3: acceleration --------------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FF, b).out(FXDD, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Acceleration", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::acceleration(*m, lo, hi); });
+  }
+  // ---- L4: boundary conditions ---------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.inout(FXDD, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Boundary", d.span(), est(b) * 0.1, 0,
+               [m, lo, hi, global_first, global_last] {
+                 k::boundary(*m, lo, hi, global_first, global_last);
+               });
+  }
+  // ---- L5: velocity ---------------------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FXDD, b).in(FDT).inout(FXD, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Velocity", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::velocity(*m, lo, hi, m->dt); });
+  }
+  // ---- L6: position ----------------------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FXD, b).in(FDT).inout(FX, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Position", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::position(*m, lo, hi, m->dt); });
+  }
+
+  // ---- frontier exchange (after the position update, Section 4.1) ----------
+  if (cfg.distributed && halo != nullptr && halo->left >= 0) {
+    Halo* h = halo;
+    const int left = halo->left;
+    {
+      Deps d(min);
+      d.in(FX, 0).out(FSBUFL);
+      em.compute("PackLeft", d.span(), 1e-7, 8,
+                 [m, h] { h->sbuf_l = m->x[1]; });
+    }
+    {
+      Deps d(min);
+      d.in(FSBUFL);
+      em.send("SendLeft", d.span(), &halo->sbuf_l, sizeof(double), left,
+              kTagToLeft);
+    }
+    {
+      Deps d(min);
+      d.out(FRBUFL);
+      em.recv("RecvLeft", d.span(), &halo->rbuf_l, sizeof(double), left,
+              kTagToRight);
+    }
+    {
+      Deps d(min);
+      d.in(FRBUFL).out(FGHOSTL);
+      em.compute("UnpackLeft", d.span(), 1e-7, 8,
+                 [m, h] { m->x[0] = h->rbuf_l; });
+    }
+  } else {
+    Deps d(min);
+    d.in(FX, 0).out(FGHOSTL);
+    em.compute("ClampLeftGhost", d.span(), 1e-7, 8,
+               [m] { k::clamp_left_ghost(*m); });
+  }
+  if (cfg.distributed && halo != nullptr && halo->right >= 0) {
+    Halo* h = halo;
+    const int right = halo->right;
+    {
+      Deps d(min);
+      d.in(FX, tpl - 1).out(FSBUFR);
+      em.compute("PackRight", d.span(), 1e-7, 8, [m, h] {
+        h->sbuf_r = m->x[static_cast<std::size_t>(m->n)];
+      });
+    }
+    {
+      Deps d(min);
+      d.in(FSBUFR);
+      em.send("SendRight", d.span(), &halo->sbuf_r, sizeof(double), right,
+              kTagToRight);
+    }
+    {
+      Deps d(min);
+      d.out(FRBUFR);
+      em.recv("RecvRight", d.span(), &halo->rbuf_r, sizeof(double), right,
+              kTagToLeft);
+    }
+    {
+      Deps d(min);
+      d.in(FRBUFR).out(FGHOSTR);
+      em.compute("UnpackRight", d.span(), 1e-7, 8, [m, h] {
+        m->x[static_cast<std::size_t>(m->n) + 1] = h->rbuf_r;
+      });
+    }
+  } else {
+    Deps d(min);
+    d.in(FX, tpl - 1).out(FGHOSTR);
+    em.compute("ClampRightGhost", d.span(), 1e-7, 8,
+               [m] { k::clamp_right_ghost(*m); });
+  }
+
+  // ---- L7: kinematics --------------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    x_stencil(d, b, tpl);
+    d.inout(FV, b).out(FDELV, b).out(FAREALG, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Kinematics", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::kinematics(*m, lo, hi); });
+  }
+  // ---- L8: artificial viscosity --------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FDELV, b).in(FV, b).out(FQ, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("Viscosity", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::viscosity(*m, lo, hi); });
+  }
+  // ---- L9: EOS ----------------------------------------------------------------------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FDELV, b).in(FQ, b).inout(FE, b).inout(FP, b);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("EOS", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::eos(*m, lo, hi); });
+  }
+  // ---- L10: sound speed (inoutset fan-in for the next dt reduction) ----------
+  for (int b = 0; b < tpl; ++b) {
+    Deps d(min);
+    d.in(FP, b).in(FE, b).in(FV, b).out(FSS, b).inoutset(FSSUM);
+    const std::int64_t lo = blk.lo(b), hi = blk.hi(b);
+    em.compute("SoundSpeed", d.span(), est(b), bytes(b),
+               [m, lo, hi] { k::sound_speed(*m, lo, hi); });
+  }
+}
+
+void run_taskbased(Runtime& rt, Mesh& mesh, const Config& cfg,
+                   bool persistent) {
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  RuntimeEmitter em(rt, opts);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, mesh, cfg, static_cast<std::uint32_t>(it), nullptr);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
+void run_parallel_for(Runtime& rt, Mesh& m, const Config& cfg) {
+  namespace kk = kernels;
+  const std::int64_t lo = 1, hi = m.n + 1;
+  auto no_deps = [](int, std::int64_t, std::int64_t, DependList&) {};
+  auto loop = [&](auto kernel) {
+    rt.taskloop(lo, hi, cfg.tpl, no_deps, kernel);
+    rt.taskwait();  // the BSP barrier after every parallel-for
+  };
+  for (int it = 0; it < cfg.iterations; ++it) {
+    m.dt = kk::apply_dt_bounds(kk::local_dt(m, lo, hi), m.dt);
+    m.time += m.dt;
+    loop([&m](std::int64_t l, std::int64_t h) { kk::stress_force(m, l, h); });
+    loop([&m](std::int64_t l, std::int64_t h) {
+      kk::hourglass_force(m, l, h);
+    });
+    loop([&m](std::int64_t l, std::int64_t h) { kk::acceleration(m, l, h); });
+    loop([&m](std::int64_t l, std::int64_t h) {
+      kk::boundary(m, l, h, true, true);
+    });
+    const double dt = m.dt;
+    loop([&m, dt](std::int64_t l, std::int64_t h) {
+      kk::velocity(m, l, h, dt);
+    });
+    loop([&m, dt](std::int64_t l, std::int64_t h) {
+      kk::position(m, l, h, dt);
+    });
+    kk::clamp_left_ghost(m);
+    kk::clamp_right_ghost(m);
+    loop([&m](std::int64_t l, std::int64_t h) { kk::kinematics(m, l, h); });
+    loop([&m](std::int64_t l, std::int64_t h) { kk::viscosity(m, l, h); });
+    loop([&m](std::int64_t l, std::int64_t h) { kk::eos(m, l, h); });
+    loop([&m](std::int64_t l, std::int64_t h) { kk::sound_speed(m, l, h); });
+  }
+}
+
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     Mesh& mesh, const Config& cfg, bool persistent) {
+  Config dcfg = cfg;
+  dcfg.distributed = true;
+  Halo halo;
+  halo.left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+  halo.right = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  RuntimeEmitter em(rt, comm, poller, opts);
+  for (int it = 0; it < dcfg.iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, mesh, dcfg, static_cast<std::uint32_t>(it), &halo);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
+}  // namespace tdg::apps::lulesh

@@ -1,0 +1,104 @@
+// lulesh-mini: a Sedov-like explicit shock-hydro proxy with the loop and
+// dependency skeleton of LULESH (Section 2): an iteration is a dt
+// reduction (MPI collective), a sequence of mesh-wide loops blocked into
+// TPL tasks with 3-block stencil dependences, and a frontier exchange with
+// neighbour ranks. Kernels are real floating-point updates; blocking never
+// changes the arithmetic, so the task-based, parallel-for and distributed
+// variants are bit-comparable against the serial reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common/emitter.hpp"
+#include "core/runtime.hpp"
+#include "mpi/interop.hpp"
+#include "mpi/mpi.hpp"
+
+namespace tdg::apps::lulesh {
+
+struct Config {
+  /// Interior points per rank (the paper's s^3 mesh flattened; kernels use
+  /// a 1D stencil so any npoints is valid).
+  std::int64_t npoints = 4096;
+  int iterations = 4;
+  int tpl = 8;  ///< tasks per mesh-wide loop
+  /// Optimization (a): express the minimal depend clause. When false, every
+  /// loop also declares a redundant alias address per block, reproducing
+  /// the duplicated-dependence pattern of Fig. 3.
+  bool minimized_deps = true;
+  /// Integrate the dt allreduce + frontier exchange into the TDG; when
+  /// false no communication tasks are emitted (single-process runs).
+  bool distributed = false;
+  /// Simulator cost scaling: each point stands for `sim_scale` points of
+  /// the modelled problem (grain and working-set hints are multiplied).
+  /// Lets paper-scale graphs (s=384 ~ 56M points) be described with small
+  /// arrays: the dependency structure only needs npoints >= tpl.
+  double sim_scale = 1.0;
+};
+
+/// The mesh state: arrays of npoints + 2 ghost slots ([0] and [n+1]).
+struct Mesh {
+  explicit Mesh(std::int64_t npoints);
+
+  /// Re-initialize as the partition [offset+1, offset+n] of a global mesh
+  /// of `global_n` points (1D rank decomposition). A single-rank mesh is
+  /// the partition (global_n = n, offset = 0).
+  void init_partition(std::int64_t global_n, std::int64_t offset);
+
+  std::int64_t n;  ///< interior points; valid indices are 1..n
+  double dx0 = 0;  ///< global lattice spacing (kinematics reference)
+  std::vector<double> x, xd, xdd, f;           // "node" family
+  std::vector<double> p, q, e, v, delv, arealg, ss, mass;  // "element" family
+  double dt = 1e-5;
+  double time = 0;
+
+  /// Deterministic digest for cross-variant comparison (exact equality).
+  struct Digest {
+    double sum_e, sum_x, sum_xd, dt;
+    bool operator==(const Digest&) const = default;
+  };
+  Digest digest() const;
+  bool all_finite() const;
+};
+
+/// Per-rank halo context for the distributed variant (1D rank chain).
+struct Halo {
+  int left = -1;   ///< neighbour ranks; -1 = physical boundary
+  int right = -1;
+  double sbuf_l = 0, sbuf_r = 0, rbuf_l = 0, rbuf_r = 0;
+  double dt_local = 0;  ///< allreduce input slot
+  double dt_red = 0;    ///< allreduce output slot
+};
+
+/// Logical-address helpers for graph extensions (the 26-neighbour
+/// exchange model couples into the iteration structure through these).
+namespace addr {
+LAddr x_block(int b);
+LAddr ss_summary();
+}  // namespace addr
+
+/// Serial reference: the original "parallel-for" algorithm run on one
+/// thread, one block. Mutates `mesh`.
+void run_reference(Mesh& mesh, const Config& cfg);
+
+/// Emit one iteration of the dependent-task version through an Emitter.
+/// `iteration` is forwarded to profiling labels; `halo` may be null for
+/// non-distributed graphs.
+void emit_iteration(Emitter& em, Mesh& mesh, const Config& cfg,
+                    std::uint32_t iteration, Halo* halo);
+
+/// Task-based shared-memory run (optionally under a persistent region).
+void run_taskbased(Runtime& rt, Mesh& mesh, const Config& cfg,
+                   bool persistent);
+
+/// parallel-for style run: taskloop per mesh-wide loop with a taskwait
+/// barrier after each (the BSP reference of the paper).
+void run_parallel_for(Runtime& rt, Mesh& mesh, const Config& cfg);
+
+/// Distributed task-based run: this rank's portion of a 1D-decomposed
+/// domain; communications are tasks in the TDG (Listing 1).
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     Mesh& mesh, const Config& cfg, bool persistent);
+
+}  // namespace tdg::apps::lulesh

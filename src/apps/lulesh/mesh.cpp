@@ -1,0 +1,70 @@
+#include "apps/lulesh/lulesh.hpp"
+
+#include <cmath>
+
+namespace tdg::apps::lulesh {
+
+Mesh::Mesh(std::int64_t npoints) : n(npoints) {
+  init_partition(npoints, 0);
+}
+
+void Mesh::init_partition(std::int64_t global_n, std::int64_t offset) {
+  const std::size_t sz = static_cast<std::size_t>(n) + 2;  // + ghosts
+  x.assign(sz, 0.0);
+  xd.assign(sz, 0.0);
+  xdd.assign(sz, 0.0);
+  f.assign(sz, 0.0);
+  p.assign(sz, 0.0);
+  q.assign(sz, 0.0);
+  e.assign(sz, 0.0);
+  v.assign(sz, 1.0);
+  delv.assign(sz, 0.0);
+  arealg.assign(sz, 0.0);
+  ss.assign(sz, 0.0);
+  mass.assign(sz, 0.0);
+  dt = 1e-5;
+  time = 0;
+  // Sedov-like setup: uniform lattice, all energy deposited at the origin.
+  dx0 = 1.0 / static_cast<double>(global_n);
+  for (std::int64_t i = 0; i <= n + 1; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        static_cast<double>(offset + i) * dx0;
+  }
+  for (std::int64_t i = 1; i <= n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    mass[u] = dx0;
+    arealg[u] = dx0;
+    ss[u] = 1.0;
+  }
+  // Deposit the energy spike at the global domain centre (the 1D analogue
+  // of the Sedov origin; the boundary clamp would freeze a corner spike).
+  const std::int64_t centre = global_n / 2;
+  const std::int64_t local = centre - offset;
+  if (local >= 1 && local <= n) {
+    e[static_cast<std::size_t>(local)] = 3.948746e+1;
+    p[static_cast<std::size_t>(local)] = 1.0;
+  }
+}
+
+Mesh::Digest Mesh::digest() const {
+  Digest d{0, 0, 0, dt};
+  for (std::int64_t i = 1; i <= n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    d.sum_e += e[u];
+    d.sum_x += x[u];
+    d.sum_xd += xd[u];
+  }
+  return d;
+}
+
+bool Mesh::all_finite() const {
+  for (const auto* arr : {&x, &xd, &xdd, &f, &p, &q, &e, &v, &delv,
+                          &arealg, &ss}) {
+    for (double val : *arr) {
+      if (!std::isfinite(val)) return false;
+    }
+  }
+  return std::isfinite(dt);
+}
+
+}  // namespace tdg::apps::lulesh

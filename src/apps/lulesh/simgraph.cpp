@@ -1,0 +1,120 @@
+#include "apps/lulesh/simgraph.hpp"
+
+#include "core/common.hpp"
+
+namespace tdg::apps::lulesh {
+
+namespace {
+
+// Logical addresses for the 26-direction exchange, in a range disjoint
+// from the field addresses of lulesh.cpp.
+constexpr LAddr kCommBase = static_cast<LAddr>(1) << 40;
+LAddr sbuf3(int dir) { return kCommBase + 2 * static_cast<LAddr>(dir); }
+LAddr rbuf3(int dir) { return kCommBase + 2 * static_cast<LAddr>(dir) + 1; }
+
+struct Dir {
+  int dx, dy, dz;
+};
+
+// The 26 non-zero directions, indexed deterministically.
+std::vector<Dir> directions() {
+  std::vector<Dir> dirs;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx != 0 || dy != 0 || dz != 0) dirs.push_back({dx, dy, dz});
+      }
+    }
+  }
+  return dirs;
+}
+
+int dir_index(const Dir& d) {
+  int idx = 0;
+  for (const Dir& c : directions()) {
+    if (c.dx == d.dx && c.dy == d.dy && c.dz == d.dz) return idx;
+    ++idx;
+  }
+  return -1;
+}
+
+}  // namespace
+
+sim::SimGraph build_sim_graph(const SimGraphOptions& o) {
+  const int volume = o.rx * o.ry * o.rz;
+  const bool dist = volume > 1;
+  SimEmitter::Options eopts;
+  eopts.builder = o.builder;
+  eopts.persistent = o.persistent;
+  SimEmitter em(eopts);
+
+  Config cfg = o.cfg;
+  cfg.distributed = dist;
+  // Arrays only carry the dependency structure; keep them small.
+  cfg.npoints = std::max<std::int64_t>(cfg.npoints, 4L * cfg.tpl);
+  Mesh mesh(cfg.npoints);
+
+  // No-1D-halo topology: the dt allreduce is emitted, the 1D exchange is
+  // replaced by the 26-neighbour model below.
+  Halo halo;
+  halo.left = -1;
+  halo.right = -1;
+
+  const int rank = o.rank;
+  const int cz = rank / (o.rx * o.ry);
+  const int cy = (rank / o.rx) % o.ry;
+  const int cx = rank % o.rx;
+  const auto dirs = directions();
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    if (!em.begin_iteration(static_cast<std::uint32_t>(it))) break;
+    emit_iteration(em, mesh, cfg, static_cast<std::uint32_t>(it),
+                   dist ? &halo : nullptr);
+    if (!dist) {
+      em.end_iteration();
+      continue;
+    }
+    for (int di = 0; di < static_cast<int>(dirs.size()); ++di) {
+      const Dir& d = dirs[static_cast<std::size_t>(di)];
+      const int nx = cx + d.dx, ny = cy + d.dy, nz = cz + d.dz;
+      if (nx < 0 || nx >= o.rx || ny < 0 || ny >= o.ry || nz < 0 ||
+          nz >= o.rz) {
+        continue;
+      }
+      const int peer = (nz * o.ry + ny) * o.rx + nx;
+      // Message size class: face O(s^2), edge O(s), corner O(1).
+      const int order = std::abs(d.dx) + std::abs(d.dy) + std::abs(d.dz);
+      const std::uint64_t bytes =
+          order == 1 ? 8ull * static_cast<std::uint64_t>(o.s) *
+                           static_cast<std::uint64_t>(o.s)
+          : order == 2 ? 8ull * static_cast<std::uint64_t>(o.s)
+                       : 8ull;
+      // The frontier block whose position update feeds this direction.
+      const int fb = di % cfg.tpl;
+      const int opposite = dir_index({-d.dx, -d.dy, -d.dz});
+      std::vector<LDep> pack_deps{LDep::in(addr::x_block(fb)),
+                                  LDep::out(sbuf3(di))};
+      if (o.taskwait_around_comm) {
+        // taskwait-equivalent: the pack waits for every L10 task, losing
+        // early request posting (the +7% ablation).
+        pack_deps.push_back(LDep::in(addr::ss_summary()));
+      }
+      em.compute("Pack3D", std::span<const LDep>(pack_deps),
+                 0.2e-6 + static_cast<double>(bytes) * 0.1e-9, bytes,
+                 [] {});
+      em.send("Send3D", {LDep::in(sbuf3(di))}, nullptr, bytes, peer, di);
+      em.recv("Recv3D", {LDep::out(rbuf3(di))}, nullptr, bytes, peer,
+              opposite);
+      // Unpacks join the end-of-iteration fan-in: the next iteration's dt
+      // (and through it every loop) waits on the frontier data, exactly
+      // like LULESH's ghost consumption.
+      em.compute("Unpack3D",
+                 {LDep::in(rbuf3(di)), LDep::inoutset(addr::ss_summary())},
+                 0.2e-6 + static_cast<double>(bytes) * 0.1e-9, bytes, [] {});
+    }
+    em.end_iteration();
+  }
+  return em.take();
+}
+
+}  // namespace tdg::apps::lulesh

@@ -1,0 +1,84 @@
+// Common low-level utilities shared by the tdg runtime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace tdg {
+
+/// Monotonic wall-clock in seconds (equivalent of omp_get_wtime).
+inline double now_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// Monotonic wall-clock in nanoseconds.
+inline std::uint64_t now_ns() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Test-and-set spin lock. Used to guard tiny critical sections
+/// (per-task successor lists); never held across user code.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  bool try_lock() noexcept {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII guard for SpinLock.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) noexcept : lock_(l) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+[[noreturn]] inline void fatal(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "tdg fatal: %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+#define TDG_CHECK(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) ::tdg::fatal(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TDG_DCHECK(cond, msg) ((void)0)
+#else
+#define TDG_DCHECK(cond, msg) TDG_CHECK(cond, msg)
+#endif
+
+/// Cache-line size used for padding hot atomics.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace tdg

@@ -1,0 +1,122 @@
+#include "core/depend.hpp"
+
+namespace tdg {
+
+void DependencyMap::retain_into(std::vector<Task*>& v, Task* t) {
+  t->retain();
+  v.push_back(t);
+}
+
+void DependencyMap::release_all(std::vector<Task*>& v) {
+  for (Task* t : v) t->release();
+  v.clear();
+}
+
+// Order `succ` after the last modifying access of `e`. For an open inoutset
+// generation this is either one edge through the redirect node (optimization
+// (c)) or one edge per generation member.
+void DependencyMap::edges_from_mod(AddrEntry& e, Task* succ,
+                                   const DiscoveryOptions& opts) {
+  // If succ itself is a member of the open generation (inoutset + in on
+  // the same address in one clause), routing through a redirect node would
+  // create an indirect self-cycle (succ -> R -> succ); use direct edges,
+  // where the self-edge is skipped.
+  bool self_in_mod = false;
+  if (e.mod_is_set) {
+    for (Task* m : e.last_mod) self_in_mod |= (m == succ);
+  }
+  if (e.mod_is_set && opts.inoutset_redirect && e.last_mod.size() > 1 &&
+      !self_in_mod) {
+    if (e.redirect == nullptr) {
+      Task* r = hooks_->make_internal_node();
+      // Take the map's reference BEFORE sealing: if every member already
+      // finished, sealing completes the node inline and drops its
+      // self-reference — the descriptor must survive for the consumer
+      // edge below (which will then be correctly pruned).
+      r->retain();
+      for (Task* m : e.last_mod) hooks_->discover_edge(m, r);
+      hooks_->seal_internal_node(r);
+      e.redirect = r;
+    }
+    hooks_->discover_edge(e.redirect, succ);
+    return;
+  }
+  for (Task* m : e.last_mod) hooks_->discover_edge(m, succ);
+}
+
+// Install `task` as the unique last writer, releasing the previous history.
+void DependencyMap::become_writer(AddrEntry& e, Task* task) {
+  release_all(e.last_mod);
+  release_all(e.gen_base);
+  release_all(e.readers);
+  if (e.redirect != nullptr) {
+    e.redirect->release();
+    e.redirect = nullptr;
+  }
+  e.mod_is_set = false;
+  retain_into(e.last_mod, task);
+}
+
+void DependencyMap::apply(Task* task, std::span<const Depend> deps,
+                          const DiscoveryOptions& opts) {
+  for (const Depend& d : deps) {
+    AddrEntry& e = entries_[d.addr];
+    switch (d.type) {
+      case DependType::In:
+        // Ordered after the last modifying access only; transitivity covers
+        // anything earlier.
+        edges_from_mod(e, task, opts);
+        retain_into(e.readers, task);
+        break;
+
+      case DependType::Out:
+      case DependType::InOut:
+        // Ordered after the last modifying access and all reads since.
+        edges_from_mod(e, task, opts);
+        for (Task* r : e.readers) hooks_->discover_edge(r, task);
+        become_writer(e, task);
+        break;
+
+      case DependType::InOutSet:
+        if (!e.mod_is_set) {
+          // Open a new generation. Its base is the previous writer plus the
+          // reads since: every member must be ordered after those.
+          e.mod_is_set = true;
+          e.gen_base.clear();
+          std::swap(e.gen_base, e.last_mod);
+          for (Task* r : e.readers) retain_into(e.gen_base, r);
+          release_all(e.readers);
+          if (e.redirect != nullptr) {
+            e.redirect->release();
+            e.redirect = nullptr;
+          }
+        } else if (e.redirect != nullptr) {
+          // The generation grows: consumers discovered so far keep their
+          // edges to the old redirect (they must not depend on this new
+          // member), but future consumers need a fresh one.
+          e.redirect->release();
+          e.redirect = nullptr;
+        }
+        // A member is ordered after the generation base and any reader that
+        // arrived while the generation was open (OpenMP 5.1: inoutset
+        // depends on prior in/out/inout accesses, not prior inoutset).
+        for (Task* b : e.gen_base) hooks_->discover_edge(b, task);
+        for (Task* r : e.readers) hooks_->discover_edge(r, task);
+        retain_into(e.last_mod, task);
+        break;
+    }
+  }
+}
+
+void DependencyMap::clear() {
+  for (auto& [addr, e] : entries_) {
+    (void)addr;
+    release_all(e.last_mod);
+    release_all(e.gen_base);
+    release_all(e.readers);
+    if (e.redirect != nullptr) e.redirect->release();
+  }
+  entries_.clear();
+}
+
+}  // namespace tdg

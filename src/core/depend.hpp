@@ -1,0 +1,96 @@
+// Sequential task-dependency discovery: the per-address access history that
+// turns depend clauses into TDG edges, with the paper's runtime-side
+// optimizations:
+//   (b) O(1) duplicate-edge elimination (Section 3.1),
+//   (c) inoutset redirection nodes reducing m*n edges to m+n (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/depend_types.hpp"
+#include "core/task.hpp"
+
+namespace tdg {
+
+/// Toggles for the discovery optimizations studied in Section 3.
+/// Optimization (a) lives in user code (fewer depend addresses) and has no
+/// runtime switch.
+struct DiscoveryOptions {
+  bool dedup_edges = true;        ///< (b): skip repeated (pred,succ) pairs
+  bool inoutset_redirect = true;  ///< (c): aggregate inoutset generations
+};
+
+/// Counters describing one discovery episode.
+struct DiscoveryStats {
+  std::uint64_t edges_created = 0;    ///< runtime edges materialized
+  std::uint64_t edges_pruned = 0;     ///< skipped: predecessor already done
+  std::uint64_t edges_duplicate = 0;  ///< skipped by optimization (b)
+  std::uint64_t redirect_nodes = 0;   ///< inoutset R nodes inserted by (c)
+};
+
+/// Services the dependency map needs from the runtime: creating edges
+/// (with pruning/dedup/persistence policy) and inserting internal nodes.
+class DiscoveryHooks {
+ public:
+  virtual ~DiscoveryHooks() = default;
+  /// Create precedence edge pred -> succ, applying dedup and pruning.
+  virtual void discover_edge(Task* pred, Task* succ) = 0;
+  /// Create an empty runtime-internal node (inoutset redirect).
+  /// The node is returned with its discovery guard held; the map adds the
+  /// member edges and then calls seal_internal_node.
+  virtual Task* make_internal_node() = 0;
+  /// Drop the internal node's discovery guard (it may complete inline).
+  virtual void seal_internal_node(Task* node) = 0;
+};
+
+/// Per-address access history with OpenMP 5.1 `in`/`out`/`inout`/`inoutset`
+/// semantics. Single-writer: depend clauses are processed sequentially by
+/// the producer thread (the paper's "sequential submission of dependent
+/// tasks"), which is what makes duplicate detection O(1).
+class DependencyMap {
+ public:
+  explicit DependencyMap(DiscoveryHooks& hooks) : hooks_(&hooks) {}
+  ~DependencyMap() { clear(); }
+  DependencyMap(const DependencyMap&) = delete;
+  DependencyMap& operator=(const DependencyMap&) = delete;
+
+  /// Process the depend clause of `task`, creating all required edges.
+  void apply(Task* task, std::span<const Depend> deps,
+             const DiscoveryOptions& opts);
+
+  /// Drop the whole access history, releasing task references. Used at
+  /// persistent-region discovery end and runtime shutdown.
+  void clear();
+
+  std::size_t tracked_addresses() const { return entries_.size(); }
+
+ private:
+  struct AddrEntry {
+    /// Last modifying access: a single out/inout writer, or the members of
+    /// the currently-open inoutset generation. Holds task references.
+    std::vector<Task*> last_mod;
+    bool mod_is_set = false;  ///< last_mod is an open inoutset generation
+    /// Predecessors every new member of the open generation must be
+    /// ordered after (the writer/readers present when the generation
+    /// opened). Holds references.
+    std::vector<Task*> gen_base;
+    /// `in` tasks since last_mod changed. Holds references.
+    std::vector<Task*> readers;
+    /// Optimization (c): redirect node summarizing last_mod when it is an
+    /// inoutset generation; invalidated when the generation grows.
+    Task* redirect = nullptr;
+  };
+
+  void edges_from_mod(AddrEntry& e, Task* succ, const DiscoveryOptions& opts);
+  void become_writer(AddrEntry& e, Task* task);
+  static void retain_into(std::vector<Task*>& v, Task* t);
+  static void release_all(std::vector<Task*>& v);
+
+  DiscoveryHooks* hooks_;
+  std::unordered_map<const void*, AddrEntry> entries_;
+};
+
+}  // namespace tdg

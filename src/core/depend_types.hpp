@@ -1,0 +1,42 @@
+// OpenMP-style dependence descriptors (the `depend` clause).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tdg {
+
+/// Dependence type of one `depend` clause item, matching OpenMP 5.1
+/// semantics for `in`, `out`, `inout` and `inoutset`.
+enum class DependType : std::uint8_t {
+  In,        ///< read access: ordered after the last modifying access
+  Out,       ///< write access: ordered after last modification and all reads
+  InOut,     ///< read-write access: same ordering as Out
+  InOutSet,  ///< concurrent-write set: mutually unordered within one
+             ///< generation, ordered against any other access type
+};
+
+/// One item of a task's depend clause: a base address plus an access type.
+/// Only the address identity matters (OpenMP list-item base rule); ranges
+/// are not modelled, exactly as in the paper's applications which depend on
+/// block base addresses.
+struct Depend {
+  const void* addr = nullptr;
+  DependType type = DependType::In;
+
+  static constexpr Depend in(const void* a) { return {a, DependType::In}; }
+  static constexpr Depend out(const void* a) { return {a, DependType::Out}; }
+  static constexpr Depend inout(const void* a) {
+    return {a, DependType::InOut};
+  }
+  static constexpr Depend inoutset(const void* a) {
+    return {a, DependType::InOutSet};
+  }
+
+  friend bool operator==(const Depend&, const Depend&) = default;
+};
+
+/// Reusable buffer for building depend lists without per-task allocation.
+using DependList = std::vector<Depend>;
+
+}  // namespace tdg

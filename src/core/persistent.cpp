@@ -1,0 +1,103 @@
+#include "core/persistent.hpp"
+
+namespace tdg {
+
+PersistentRegion::PersistentRegion(Runtime& rt) : rt_(rt) {
+  TDG_CHECK(rt_.region_ == nullptr,
+            "nested persistent regions are not supported");
+  rt_.region_ = this;
+}
+
+PersistentRegion::~PersistentRegion() {
+  rt_.taskwait();
+  rt_.discovering_persistent_ = false;
+  rt_.replay_active_ = false;
+  rt_.region_ = nullptr;
+  for (Task* t : tasks_) t->release();
+}
+
+void PersistentRegion::begin_iteration() {
+  TDG_CHECK(!active_, "begin_iteration called twice without end_iteration");
+  active_ = true;
+  if (iterations_done_ == 0) {
+    // First iteration: normal discovery, tasks marked persistent. Start
+    // from a clean dependency scope so no out-of-region predecessor leaks
+    // into the cached graph.
+    rt_.clear_dependency_scope();
+    rt_.discovering_persistent_ = true;
+  } else {
+    rearm_all();
+    rt_.replay_active_ = true;
+    cursor_ = 0;
+    replayed_ = 0;
+  }
+  rt_.discovery_begin_ns_ = 0;  // per-iteration discovery span
+  rt_.discovery_end_ns_ = 0;
+}
+
+void PersistentRegion::end_iteration() {
+  TDG_CHECK(active_, "end_iteration without begin_iteration");
+  if (iterations_done_ > 0) {
+    TDG_CHECK(replayed_ == replayable_count_,
+              "persistent region replayed a different number of tasks than "
+              "it discovered");
+  }
+  // Implicit barrier (Section 3.2): every task of iteration n completes
+  // before iteration n+1 is instantiated; inter-iteration edges never exist.
+  rt_.taskwait();
+  discovery_seconds_.push_back(rt_.stats().discovery_seconds());
+  if (iterations_done_ == 0) {
+    // Discovery is over: release the access history (it holds references
+    // into the cached graph) and count replayable (non-internal) tasks.
+    rt_.discovering_persistent_ = false;
+    rt_.clear_dependency_scope();
+    replayable_count_ = 0;
+    for (const Task* t : tasks_) {
+      if (!t->opts.internal) ++replayable_count_;
+    }
+  }
+  rt_.replay_active_ = false;
+  ++iterations_done_;
+  active_ = false;
+}
+
+void PersistentRegion::record_task(Task* t) {
+  t->retain();
+  tasks_.push_back(t);
+}
+
+Task* PersistentRegion::next_replay_task() {
+  while (cursor_ < tasks_.size() && tasks_[cursor_]->opts.internal) {
+    ++cursor_;
+  }
+  TDG_CHECK(cursor_ < tasks_.size(),
+            "persistent region replayed more tasks than were discovered");
+  ++replayed_;
+  return tasks_[cursor_++];
+}
+
+void PersistentRegion::rearm_all() {
+  std::size_t n = 0;
+  for (Task* t : tasks_) {
+    t->rearm_persistent();
+    t->state.store(TaskState::Created, std::memory_order_relaxed);
+    // Internal redirect nodes are not re-submitted by the producer, so
+    // they carry no discovery guard; user tasks hold one until their
+    // firstprivate block has been updated.
+    const std::int32_t guard = t->opts.internal ? 0 : 1;
+    t->npredecessors.store(t->persistent_indegree + guard,
+                           std::memory_order_relaxed);
+    t->completion_latch.store(t->detach_event != nullptr ? 2 : 1,
+                              std::memory_order_relaxed);
+    if (t->detach_event != nullptr) {
+      t->detach_event->fulfilled_.store(false, std::memory_order_relaxed);
+    }
+    t->iteration = iterations_done_;
+    ++n;
+  }
+  rt_.pending_.fetch_add(n, std::memory_order_relaxed);
+  rt_.live_tasks_.fetch_add(n, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+}  // namespace tdg

@@ -1,0 +1,72 @@
+// Persistent Task Sub-Graph (PTSG) — optimization (p), Section 3.2.
+//
+// The first iteration of an annotated loop discovers the TDG as usual but
+// marks tasks persistent so they survive completion, and records *every*
+// edge (edges to already-finished predecessors are not pruned, since no
+// edge is recreated on later iterations). Subsequent iterations re-execute
+// the producer's instruction flow, but each submit collapses to updating
+// the cached task's firstprivate capture — a memcpy — and dropping its
+// discovery guard. An implicit barrier ends every iteration, so no
+// inter-iteration edges exist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace tdg {
+
+/// RAII handle for a persistent-graph region (`#pragma omp ptsg` in the
+/// paper). Usage:
+///
+///   PersistentRegion region(rt);
+///   for (int it = 0; it < iters; ++it) {
+///     region.begin_iteration();
+///     ... submit the same task sequence, captures may differ ...
+///     region.end_iteration();   // implicit barrier
+///   }
+///
+/// Every iteration must submit the same tasks in the same order with the
+/// same dependences (checked where cheap).
+class PersistentRegion {
+ public:
+  explicit PersistentRegion(Runtime& rt);
+  ~PersistentRegion();
+  PersistentRegion(const PersistentRegion&) = delete;
+  PersistentRegion& operator=(const PersistentRegion&) = delete;
+
+  void begin_iteration();
+  /// Implicit barrier: waits for every task of the iteration, then re-arms
+  /// refcounts for the next one.
+  void end_iteration();
+
+  std::uint32_t iterations_done() const { return iterations_done_; }
+  std::size_t task_count() const { return tasks_.size(); }
+  bool discovering() const { return iterations_done_ == 0 && active_; }
+
+  /// Per-iteration discovery durations in seconds (first = graph build,
+  /// later = firstprivate update pass); Table 2's 0.86 s + 15 x 0.08 s.
+  const std::vector<double>& discovery_seconds() const {
+    return discovery_seconds_;
+  }
+
+ private:
+  friend class Runtime;
+
+  void record_task(Task* t);        // first-iteration discovery
+  Task* next_replay_task();         // later iterations
+  void rearm_all();                 // refcounts for the next iteration
+
+  Runtime& rt_;
+  std::vector<Task*> tasks_;        // creation order; holds references
+  std::size_t cursor_ = 0;          // replay cursor over non-internal tasks
+  std::size_t replayed_ = 0;        // user tasks replayed this iteration
+  std::size_t replayable_count_ = 0;
+  std::uint32_t iterations_done_ = 0;
+  bool active_ = false;
+  double iter_begin_s_ = 0;
+  std::vector<double> discovery_seconds_;
+};
+
+}  // namespace tdg

@@ -1,0 +1,65 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+
+namespace tdg {
+
+Profiler::Profiler(unsigned nthreads, bool trace_enabled)
+    : trace_enabled_(trace_enabled), acc_(nthreads), trace_(nthreads) {
+  for (auto& tb : trace_) tb.records.reserve(1024);
+}
+
+void Profiler::record(unsigned thread, const TaskRecord& rec) {
+  if (!trace_enabled_) return;
+  trace_[thread].records.push_back(rec);
+}
+
+Breakdown Profiler::breakdown() const {
+  Breakdown b;
+  b.per_thread.resize(acc_.size());
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    b.per_thread[i].work = static_cast<double>(acc_[i].work_ns) * 1e-9;
+    b.per_thread[i].overhead =
+        static_cast<double>(acc_[i].overhead_ns) * 1e-9;
+    b.per_thread[i].idle = static_cast<double>(acc_[i].idle_ns) * 1e-9;
+    b.work += b.per_thread[i].work;
+    b.overhead += b.per_thread[i].overhead;
+    b.idle += b.per_thread[i].idle;
+  }
+  const double n = acc_.empty() ? 1.0 : static_cast<double>(acc_.size());
+  b.avg_work = b.work / n;
+  b.avg_overhead = b.overhead / n;
+  b.avg_idle = b.idle / n;
+  return b;
+}
+
+std::vector<TaskRecord> Profiler::merged_trace() const {
+  std::vector<TaskRecord> all;
+  std::size_t total = 0;
+  for (const auto& tb : trace_) total += tb.records.size();
+  all.reserve(total);
+  for (const auto& tb : trace_) {
+    all.insert(all.end(), tb.records.begin(), tb.records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.t_start < b.t_start;
+            });
+  return all;
+}
+
+void Profiler::write_gantt(std::ostream& os) const {
+  os << "thread\tstart_s\tend_s\titeration\tlabel\n";
+  for (const TaskRecord& r : merged_trace()) {
+    os << r.thread << '\t' << static_cast<double>(r.t_start) * 1e-9 << '\t'
+       << static_cast<double>(r.t_end) * 1e-9 << '\t' << r.iteration << '\t'
+       << r.label << '\n';
+  }
+}
+
+void Profiler::reset() {
+  for (auto& a : acc_) a = Accum{};
+  for (auto& tb : trace_) tb.records.clear();
+}
+
+}  // namespace tdg

@@ -1,0 +1,100 @@
+// In-runtime profiler reproducing the methodology of Section 2.3.1:
+// task create/schedule/complete traces with omp_get_wtime-style timestamps,
+// and the parallel-time breakdown of Tallent & Mellor-Crummey adapted to
+// dependent tasks — work (inside a task body), overhead (outside a body
+// while ready tasks exist), idleness (outside a body with none ready).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+/// One executed task instance (one record per persistent-region iteration).
+struct TaskRecord {
+  std::uint64_t task_id = 0;
+  std::uint64_t t_create = 0;  ///< ns, discovery timestamp
+  std::uint64_t t_ready = 0;   ///< ns, last predecessor satisfied
+  std::uint64_t t_start = 0;   ///< ns, body began
+  std::uint64_t t_end = 0;     ///< ns, completion
+  std::uint32_t thread = 0;    ///< executing thread slot
+  std::uint32_t iteration = 0; ///< persistent-region iteration
+  const char* label = "";
+};
+
+/// Per-thread cumulative time split, in seconds.
+struct ThreadBreakdown {
+  double work = 0;
+  double overhead = 0;
+  double idle = 0;
+};
+
+/// Aggregated breakdown over the team (Fig. 2(c) / Fig. 6 / Fig. 7 style).
+struct Breakdown {
+  std::vector<ThreadBreakdown> per_thread;
+  double work = 0;      ///< cumulated seconds on all threads
+  double overhead = 0;
+  double idle = 0;
+  double avg_work = 0;  ///< averaged per thread
+  double avg_overhead = 0;
+  double avg_idle = 0;
+};
+
+/// Event collector. Accumulator counters are always on (a few relaxed
+/// atomic adds per scheduling decision); full task tracing is opt-in, as in
+/// the paper where tracing costs 0-5% and is bounded by DRAM capacity.
+class Profiler {
+ public:
+  explicit Profiler(unsigned nthreads, bool trace_enabled = false);
+
+  bool trace_enabled() const { return trace_enabled_; }
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+
+  // --- accumulators, called from worker loops ----------------------------
+  void add_work(unsigned thread, std::uint64_t ns) {
+    acc_[thread].work_ns += ns;
+  }
+  void add_overhead(unsigned thread, std::uint64_t ns) {
+    acc_[thread].overhead_ns += ns;
+  }
+  void add_idle(unsigned thread, std::uint64_t ns) {
+    acc_[thread].idle_ns += ns;
+  }
+
+  /// Record a completed task instance (trace mode only).
+  void record(unsigned thread, const TaskRecord& rec);
+
+  // --- post-mortem analysis ----------------------------------------------
+  Breakdown breakdown() const;
+  /// All records, merged and sorted by start time.
+  std::vector<TaskRecord> merged_trace() const;
+
+  /// Write a Gantt-chart-friendly TSV: thread, start_s, end_s, iteration,
+  /// label (Fig. 8 input format).
+  void write_gantt(std::ostream& os) const;
+
+  /// Reset accumulators and traces (between experiment phases).
+  void reset();
+
+  unsigned num_threads() const { return static_cast<unsigned>(acc_.size()); }
+
+ private:
+  struct alignas(kCacheLine) Accum {
+    std::uint64_t work_ns = 0;
+    std::uint64_t overhead_ns = 0;
+    std::uint64_t idle_ns = 0;
+  };
+  struct alignas(kCacheLine) TraceBuf {
+    std::vector<TaskRecord> records;
+  };
+
+  bool trace_enabled_;
+  std::vector<Accum> acc_;
+  std::vector<TraceBuf> trace_;
+};
+
+}  // namespace tdg

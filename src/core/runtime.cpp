@@ -1,0 +1,355 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "core/persistent.hpp"
+
+namespace tdg {
+
+namespace {
+// Thread slot within the owning runtime. Slot 0 is the producer; external
+// threads fall back to slot 0 (its deque is lock-protected).
+thread_local unsigned tls_slot = 0;
+// Task whose body is executing on this thread (for current_task_event).
+thread_local Task* tls_current_task = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+void Event::fulfill() {
+  if (fulfilled_.exchange(true, std::memory_order_acq_rel)) return;
+  Task* t = task_;
+  if (t == nullptr) return;
+  if (t->completion_latch.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    runtime_->complete_task(t, runtime_->current_slot());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Config cfg)
+    : cfg_(cfg),
+      dep_map_(*static_cast<DiscoveryHooks*>(this)) {
+  unsigned n = cfg_.num_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  cfg_.num_threads = n;
+  profiler_ = std::make_unique<Profiler>(n, cfg_.trace);
+  deques_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  tls_slot = 0;  // caller becomes the producer
+  workers_.reserve(n > 0 ? n - 1 : 0);
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  taskwait();
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+  dep_map_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------------
+
+Task* Runtime::allocate_task(const TaskOpts& opts) {
+  Task* t = new Task(next_task_id_.fetch_add(1, std::memory_order_relaxed));
+  t->opts = opts;
+  t->t_create = now_ns();
+  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
+  discovery_end_ns_ = t->t_create;
+  if (opts.internal) {
+    ++internal_nodes_;
+  } else {
+    ++tasks_created_;
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  live_tasks_.fetch_add(1, std::memory_order_relaxed);
+  if (opts.detach != nullptr) {
+    TDG_CHECK(!opts.detach->fulfilled(),
+              "detach event fulfilled before the task was submitted");
+    t->completion_latch.store(2, std::memory_order_relaxed);
+    t->detach_event = opts.detach;
+    opts.detach->runtime_ = this;
+    opts.detach->task_ = t;
+  }
+  if (discovering_persistent_) {
+    t->persistent = true;
+    region_->record_task(t);
+  }
+  return t;
+}
+
+void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
+  dep_map_.apply(t, deps, cfg_.discovery);
+  discovery_end_ns_ = now_ns();
+  // Drop the discovery guard; the task may become ready immediately.
+  if (t->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue_ready(t, current_slot(), /*successor=*/false);
+  }
+  throttle(current_slot());
+}
+
+void Runtime::discover_edge(Task* pred, Task* succ) {
+  if (pred == succ) return;  // e.g. in+out on the same address in one clause
+  if (cfg_.discovery.dedup_edges && pred->last_successor_id == succ->id()) {
+    ++disc_stats_.edges_duplicate;
+    return;  // optimization (b): O(1) duplicate-edge elimination
+  }
+  pred->last_successor_id = succ->id();
+  // The successor's count must be raised BEFORE the edge is published:
+  // otherwise a predecessor completing in between decrements a count that
+  // does not yet include this edge, reaching zero early (the discovery
+  // guard is +1, so 1-1 = 0) and enqueueing the task twice. The undo on
+  // the pruned paths can never hit zero: the guard is still held.
+  succ->npredecessors.fetch_add(1, std::memory_order_relaxed);
+  switch (pred->add_successor(succ, discovering_persistent_)) {
+    case Task::EdgeResult::Created:
+      if (discovering_persistent_) ++succ->persistent_indegree;
+      ++disc_stats_.edges_created;
+      break;
+    case Task::EdgeResult::Recorded:
+      succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
+      ++succ->persistent_indegree;
+      ++disc_stats_.edges_created;
+      break;
+    case Task::EdgeResult::Pruned:
+      succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
+      ++disc_stats_.edges_pruned;
+      break;
+  }
+}
+
+Task* Runtime::make_internal_node() {
+  TaskOpts opts;
+  opts.label = "tdg::redirect";
+  opts.internal = true;
+  Task* t = allocate_task(opts);
+  ++disc_stats_.redirect_nodes;
+  return t;
+}
+
+void Runtime::seal_internal_node(Task* node) {
+  if (node->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue_ready(node, current_slot(), /*successor=*/false);
+  }
+}
+
+std::uint64_t Runtime::replay_submit_erased(void (*update)(Task*, void*),
+                                            void* ctx) {
+  Task* t = region_->next_replay_task();
+  update(t, ctx);  // the paper's "single memcpy on firstprivate data"
+  t->t_create = now_ns();
+  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
+  discovery_end_ns_ = t->t_create;
+  if (t->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue_ready(t, current_slot(), /*successor=*/false);
+  }
+  // No throttling here: replay allocates nothing (the graph already
+  // exists), and the re-armed iteration counts towards live_tasks_ up
+  // front — waiting for it to drop below a total-task bound smaller than
+  // the region would deadlock, since un-replayed tasks cannot run.
+  return t->id();
+}
+
+void Runtime::clear_dependency_scope() { dep_map_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
+  t->t_ready = now_ns();
+  t->state.store(TaskState::Ready, std::memory_order_relaxed);
+  if (t->body.empty()) {
+    // Runtime-internal nodes (inoutset redirects) complete inline; they
+    // carry no user work and queueing them would only add latency.
+    run_task(t, thread_hint);
+    return;
+  }
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  // Depth-first heuristic: a newly-ready successor goes to the head of the
+  // completing thread's deque so it runs right after its producer, while
+  // its data is still cached. Fresh root tasks also go to the head; in
+  // FIFO mode the owner pops from the tail instead.
+  (void)successor;
+  deques_[thread_hint]->push_front(t);
+}
+
+void Runtime::run_task(Task* t, unsigned thread) {
+  t->exec_thread = thread;
+  t->t_start = now_ns();
+  t->state.store(TaskState::Running, std::memory_order_relaxed);
+  Task* prev_current = tls_current_task;
+  tls_current_task = t;
+  if (!t->body.empty()) t->body.invoke();
+  tls_current_task = prev_current;
+  const std::uint64_t t_body_end = now_ns();
+  profiler_->add_work(thread, t_body_end - t->t_start);
+  if (t->completion_latch.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    complete_task(t, thread);
+  } else {
+    t->state.store(TaskState::Detached, std::memory_order_relaxed);
+  }
+  profiler_->add_overhead(thread, now_ns() - t_body_end);
+}
+
+void Runtime::complete_task(Task* t, unsigned thread) {
+  t->t_end = now_ns();
+  t->state.store(TaskState::Finished, std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (profiler_->trace_enabled() && !t->opts.internal) {
+    TaskRecord rec;
+    rec.task_id = t->id();
+    rec.t_create = t->t_create;
+    rec.t_ready = t->t_ready;
+    rec.t_start = t->t_start;
+    rec.t_end = t->t_end;
+    rec.thread = thread;
+    rec.iteration = t->iteration;
+    rec.label = t->opts.label;
+    profiler_->record(thread, rec);
+  }
+  const bool keep = t->persistent;
+  std::vector<Task*> succs = t->snapshot_successors_and_finish(keep);
+  for (Task* s : succs) {
+    if (s->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      enqueue_ready(s, thread, /*successor=*/true);
+    }
+  }
+  live_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (!keep) t->release();  // drop the self-reference
+}
+
+bool Runtime::try_execute_one(unsigned slot) {
+  const std::uint64_t t0 = now_ns();
+  WorkDeque& own = *deques_[slot];
+  Task* t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
+                                                          : own.pop_back();
+  if (t == nullptr) {
+    const unsigned n = num_threads();
+    for (unsigned k = 1; k < n && t == nullptr; ++k) {
+      t = deques_[(slot + k) % n]->steal();
+    }
+  }
+  const std::uint64_t t1 = now_ns();
+  if (t == nullptr) {
+    if (ready_count_.load(std::memory_order_relaxed) > 0) {
+      profiler_->add_overhead(slot, t1 - t0);
+    } else {
+      profiler_->add_idle(slot, t1 - t0);
+    }
+    return false;
+  }
+  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  profiler_->add_overhead(slot, t1 - t0);
+  run_task(t, slot);
+  return true;
+}
+
+void Runtime::worker_loop(unsigned slot) {
+  tls_slot = slot;
+  while (true) {
+    if (try_execute_one(slot)) continue;
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    const std::uint64_t t0 = now_ns();
+    poll();
+    std::this_thread::yield();
+    const std::uint64_t t1 = now_ns();
+    if (ready_count_.load(std::memory_order_relaxed) > 0) {
+      profiler_->add_overhead(slot, t1 - t0);
+    } else {
+      profiler_->add_idle(slot, t1 - t0);
+    }
+  }
+}
+
+void Runtime::taskwait() {
+  const unsigned slot = current_slot();
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!try_execute_one(slot)) {
+      poll();
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Runtime::throttle(unsigned slot) {
+  const auto& th = cfg_.throttle;
+  while (ready_count_.load(std::memory_order_relaxed) > th.max_ready ||
+         live_tasks_.load(std::memory_order_relaxed) > th.max_total) {
+    if (!try_execute_one(slot)) {
+      poll();
+      std::this_thread::yield();
+      if (pending_.load(std::memory_order_acquire) == 0) break;
+    }
+  }
+}
+
+void Runtime::poll() {
+  std::shared_ptr<const std::function<void()>> hook;
+  {
+    SpinGuard g(hook_lock_);
+    hook = polling_hook_;
+  }
+  if (hook) (*hook)();
+}
+
+void Runtime::set_polling_hook(std::function<void()> hook) {
+  std::shared_ptr<const std::function<void()>> p;
+  if (hook) {
+    p = std::make_shared<const std::function<void()>>(std::move(hook));
+  }
+  SpinGuard g(hook_lock_);
+  polling_hook_ = std::move(p);
+}
+
+Event* Runtime::create_event() {
+  SpinGuard g(events_lock_);
+  events_.push_back(std::make_unique<Event>());
+  return events_.back().get();
+}
+
+Event* Runtime::current_task_event() const {
+  return tls_current_task != nullptr ? tls_current_task->detach_event
+                                     : nullptr;
+}
+
+unsigned Runtime::current_slot() const {
+  return tls_slot < deques_.size() ? tls_slot : 0u;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  s.tasks_created = tasks_created_;
+  s.internal_nodes = internal_nodes_;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.discovery = disc_stats_;
+  s.discovery_begin_ns = discovery_begin_ns_;
+  s.discovery_end_ns = discovery_end_ns_;
+  return s;
+}
+
+void Runtime::reset_stats() {
+  tasks_created_ = 0;
+  internal_nodes_ = 0;
+  disc_stats_ = DiscoveryStats{};
+  discovery_begin_ns_ = 0;
+  discovery_end_ns_ = 0;
+  tasks_executed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tdg

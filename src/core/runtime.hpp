@@ -1,0 +1,223 @@
+// The tdg runtime: an MPC-OMP-like dependent-task execution engine.
+//
+// One producer thread discovers the task dependency graph sequentially
+// (submit / taskloop) while a team of workers executes it concurrently —
+// the overlap whose speed balance the paper studies. Workers use per-thread
+// deques with work stealing; the depth-first LIFO policy pushes newly-ready
+// successors to the head of the completing thread's deque (cache reuse).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/depend.hpp"
+#include "core/profiler.hpp"
+#include "core/scheduler.hpp"
+#include "core/task.hpp"
+
+namespace tdg {
+
+class PersistentRegion;
+
+/// Snapshot of runtime counters (graph structure + discovery span).
+struct RuntimeStats {
+  std::uint64_t tasks_created = 0;    ///< user tasks discovered
+  std::uint64_t internal_nodes = 0;   ///< inoutset redirect nodes
+  std::uint64_t tasks_executed = 0;   ///< task instances run (replays count)
+  DiscoveryStats discovery;
+  /// Discovery span: first to last task creation since the last reset
+  /// ("the time from the first to the last task creation", Section 1).
+  std::uint64_t discovery_begin_ns = 0;
+  std::uint64_t discovery_end_ns = 0;
+
+  double discovery_seconds() const {
+    return discovery_end_ns > discovery_begin_ns
+               ? static_cast<double>(discovery_end_ns - discovery_begin_ns) *
+                     1e-9
+               : 0.0;
+  }
+  std::uint64_t edges_total() const {
+    return discovery.edges_created;
+  }
+};
+
+/// Dependent-task runtime. One instance owns a worker team; the thread that
+/// constructs it becomes thread slot 0, the producer, which discovers the
+/// graph and helps execute during taskwait and when throttled.
+class Runtime : public DiscoveryHooks {
+ public:
+  struct Config {
+    unsigned num_threads = 0;  ///< 0 = hardware concurrency
+    SchedulePolicy policy = SchedulePolicy::DepthFirstLifo;
+    DiscoveryOptions discovery;
+    ThrottleConfig throttle;
+    bool trace = false;  ///< record full task traces (Gantt etc.)
+  };
+
+  Runtime() : Runtime(Config{}) {}
+  explicit Runtime(Config cfg);
+  ~Runtime() override;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- task submission (producer side) ------------------------------------
+  /// Submit one dependent task. Returns its id. Submissions must be
+  /// serialized (single producer), per the sequential-discovery model.
+  template <class F>
+  std::uint64_t submit(F&& fn, std::span<const Depend> deps,
+                       TaskOpts opts = {}) {
+    if (replay_active_) return replay_submit(std::forward<F>(fn));
+    Task* t = allocate_task(opts);
+    t->body.emplace(std::forward<F>(fn));
+    finish_submission(t, deps);
+    return t->id();
+  }
+
+  template <class F>
+  std::uint64_t submit(F&& fn, std::initializer_list<Depend> deps,
+                       TaskOpts opts = {}) {
+    return submit(std::forward<F>(fn),
+                  std::span<const Depend>(deps.begin(), deps.size()), opts);
+  }
+
+  /// OpenMP `taskloop num_tasks(n) depend(...)`: split [begin,end) into
+  /// `num_tasks` contiguous chunks; `depgen(chunk, lo, hi, out_deps)` fills
+  /// the depend clause of each chunk, `body(lo, hi)` is the chunk kernel.
+  template <class DepGen, class Body>
+  void taskloop(std::int64_t begin, std::int64_t end, int num_tasks,
+                DepGen&& depgen, Body&& body, TaskOpts opts = {}) {
+    TDG_CHECK(num_tasks > 0, "taskloop requires num_tasks > 0");
+    const std::int64_t n = end - begin;
+    if (n <= 0) return;
+    const std::int64_t chunks = std::min<std::int64_t>(num_tasks, n);
+    DependList deps;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = begin + n * c / chunks;
+      const std::int64_t hi = begin + n * (c + 1) / chunks;
+      deps.clear();
+      depgen(static_cast<int>(c), lo, hi, deps);
+      submit([body, lo, hi] { body(lo, hi); },
+             std::span<const Depend>(deps.data(), deps.size()), opts);
+    }
+  }
+
+  /// Wait until every submitted task has completed; the calling thread
+  /// executes tasks while waiting (an OpenMP taskwait-at-region-scope).
+  void taskwait();
+
+  /// Create a detach event to attach to a task via TaskOpts::detach.
+  /// Events live until the runtime is destroyed.
+  Event* create_event();
+
+  /// The detach event of the task currently executing on the calling
+  /// thread (nullptr outside a task body or if it has none). This is how a
+  /// replayed persistent task reaches its own event: the TaskOpts of
+  /// replay submissions are ignored, the discovery-time event is reused
+  /// and re-armed each iteration.
+  Event* current_task_event() const;
+
+  // --- scheduling-point hook (MPI interoperability) ------------------------
+  /// Called repeatedly from worker idle loops, task boundaries and
+  /// taskwait: the MPI polling hook of the paper ("polling MPI requests on
+  /// OpenMP scheduling points"). Must be thread-safe.
+  void set_polling_hook(std::function<void()> hook);
+
+  // --- introspection --------------------------------------------------------
+  RuntimeStats stats() const;
+  /// Reset graph counters and the discovery span (not the profiler).
+  void reset_stats();
+  Profiler& profiler() { return *profiler_; }
+  unsigned num_threads() const {
+    return static_cast<unsigned>(deques_.size());
+  }
+  const Config& config() const { return cfg_; }
+  /// Live tasks = created and not yet finished. Ready = queued, not started.
+  std::size_t live_tasks() const {
+    return live_tasks_.load(std::memory_order_relaxed);
+  }
+  std::size_t ready_tasks() const {
+    return ready_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Clear the producer's dependency history: subsequent tasks see no
+  /// predecessors. Used between independent graph phases and by
+  /// persistent regions at discovery end.
+  void clear_dependency_scope();
+
+  // --- DiscoveryHooks (used by DependencyMap) ------------------------------
+  void discover_edge(Task* pred, Task* succ) override;
+  Task* make_internal_node() override;
+  void seal_internal_node(Task* node) override;
+
+ private:
+  friend class PersistentRegion;
+  friend class Event;
+
+  Task* allocate_task(const TaskOpts& opts);
+  void finish_submission(Task* t, std::span<const Depend> deps);
+  std::uint64_t replay_submit_erased(void (*update)(Task*, void*), void* ctx);
+
+  template <class F>
+  std::uint64_t replay_submit(F&& fn) {
+    struct Ctx {
+      F* fn;
+    } ctx{&fn};
+    return replay_submit_erased(
+        [](Task* t, void* c) {
+          t->body.update(std::forward<F>(*static_cast<Ctx*>(c)->fn));
+        },
+        &ctx);
+  }
+
+  void enqueue_ready(Task* t, unsigned thread_hint, bool successor);
+  void run_task(Task* t, unsigned thread);
+  void complete_task(Task* t, unsigned thread);
+  /// Try to obtain and run one task from the calling slot; returns false
+  /// if none was available anywhere.
+  bool try_execute_one(unsigned thread);
+  void worker_loop(unsigned slot);
+  void throttle(unsigned thread);
+  void poll();
+  unsigned current_slot() const;
+
+  Config cfg_;
+  std::unique_ptr<Profiler> profiler_;
+  DependencyMap dep_map_;
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Event>> events_;
+  SpinLock events_lock_;
+
+  /// The polling hook is installed/cleared concurrently with workers
+  /// invoking it (e.g. a RequestPoller tearing down), so pollers pin the
+  /// closure via a shared_ptr copied under a spin lock.
+  std::shared_ptr<const std::function<void()>> polling_hook_;
+  mutable SpinLock hook_lock_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> pending_{0};     ///< submitted, not finished
+  std::atomic<std::size_t> live_tasks_{0};  ///< descriptors alive (throttle)
+  std::atomic<std::size_t> ready_count_{0};
+
+  // counters (producer-written except tasks_executed)
+  std::uint64_t tasks_created_ = 0;
+  std::uint64_t internal_nodes_ = 0;
+  DiscoveryStats disc_stats_;
+  std::uint64_t discovery_begin_ns_ = 0;
+  std::uint64_t discovery_end_ns_ = 0;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> next_task_id_{1};
+
+  // persistent-region state (managed by PersistentRegion)
+  PersistentRegion* region_ = nullptr;
+  bool discovering_persistent_ = false;
+  bool replay_active_ = false;
+};
+
+}  // namespace tdg

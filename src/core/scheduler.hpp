@@ -1,0 +1,76 @@
+// Per-thread work deques and the scheduling policies studied in the paper:
+// LIFO depth-first (MPC-OMP's heuristic, favouring cache reuse by running a
+// task's successors right after it) versus FIFO breadth-first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "core/common.hpp"
+#include "core/task.hpp"
+
+namespace tdg {
+
+/// Scheduling heuristic for ready tasks.
+enum class SchedulePolicy : std::uint8_t {
+  DepthFirstLifo,    ///< newly-ready successors run first (cache reuse)
+  BreadthFirstFifo,  ///< oldest ready task runs first
+};
+
+/// Task-throttling configuration (Section 5, "Task Throttling").
+/// `max_ready` mimics the GCC/LLVM ready-task threshold; `max_total` is the
+/// MPC-OMP bound on all co-existing tasks, ready or not (default 10,000,000
+/// in the paper). When a bound is exceeded the producer thread stops
+/// discovering and executes tasks instead.
+struct ThrottleConfig {
+  std::size_t max_ready = std::numeric_limits<std::size_t>::max();
+  std::size_t max_total = 10'000'000;
+};
+
+/// A mutex-protected double-ended work queue. The owner pushes/pops at the
+/// front; thieves take from the back (the oldest work, which in depth-first
+/// mode is the coarsest-grained and farthest from the victim's cache).
+class WorkDeque {
+ public:
+  void push_front(Task* t) {
+    SpinGuard g(lock_);
+    dq_.push_front(t);
+  }
+  void push_back(Task* t) {
+    SpinGuard g(lock_);
+    dq_.push_back(t);
+  }
+  Task* pop_front() {
+    SpinGuard g(lock_);
+    if (dq_.empty()) return nullptr;
+    Task* t = dq_.front();
+    dq_.pop_front();
+    return t;
+  }
+  Task* pop_back() {
+    SpinGuard g(lock_);
+    if (dq_.empty()) return nullptr;
+    Task* t = dq_.back();
+    dq_.pop_back();
+    return t;
+  }
+  /// Steal the oldest task.
+  Task* steal() { return pop_back(); }
+
+  bool empty() const {
+    SpinGuard g(lock_);
+    return dq_.empty();
+  }
+  std::size_t size() const {
+    SpinGuard g(lock_);
+    return dq_.size();
+  }
+
+ private:
+  mutable SpinLock lock_;
+  std::deque<Task*> dq_;
+};
+
+}  // namespace tdg

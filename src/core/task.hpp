@@ -1,0 +1,264 @@
+// Task descriptor: body storage, readiness refcount, successor edges,
+// detach events and persistent-graph bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/depend_types.hpp"
+
+namespace tdg {
+
+class Task;
+class Runtime;
+
+/// Lifecycle states of a task (profiling / assertions).
+enum class TaskState : std::uint8_t {
+  Created,   ///< discovered, predecessors outstanding
+  Ready,     ///< all predecessors satisfied, queued
+  Running,   ///< body executing on some thread
+  Detached,  ///< body done, waiting on a detach event
+  Finished,  ///< complete; successors released
+};
+
+/// Detach event (OpenMP `detach(event)` clause). A task carrying an event
+/// only completes once both its body has returned and the event has been
+/// fulfilled — e.g. by an MPI request completion callback.
+class Event {
+ public:
+  /// Fulfill the event. Idempotent; safe from any thread. If the owning
+  /// task body has already returned, this triggers task completion.
+  void fulfill();
+
+  bool fulfilled() const noexcept {
+    return fulfilled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Runtime;
+  friend class Task;
+  friend class PersistentRegion;
+  std::atomic<bool> fulfilled_{false};
+  Task* task_ = nullptr;     // owning task, set at submit
+  Runtime* runtime_ = nullptr;
+};
+
+/// Type-erased task body with inline small-buffer storage.
+///
+/// Persistent-graph replay (optimization (p) of the paper) overwrites the
+/// stored capture with the bytes of a freshly-built callable of the same
+/// type: a plain memcpy for trivially-copyable captures, the type's copy
+/// assignment otherwise. This mirrors the paper's "task initialization cost
+/// reduced to a single memcpy on firstprivate data".
+class TaskBody {
+ public:
+  static constexpr std::size_t kInlineBytes = 192;
+
+  TaskBody() = default;
+  TaskBody(const TaskBody&) = delete;
+  TaskBody& operator=(const TaskBody&) = delete;
+
+  ~TaskBody() { reset(); }
+
+  template <class F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    reset();
+    void* where;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      where = inline_;
+    } else {
+      heap_ = ::operator new(sizeof(Fn), std::align_val_t{alignof(Fn)});
+      where = heap_;
+      align_ = alignof(Fn);
+    }
+    ::new (where) Fn(std::forward<F>(fn));
+    size_ = sizeof(Fn);
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    if constexpr (std::is_trivially_copyable_v<Fn>) {
+      assign_ = nullptr;  // plain memcpy is valid
+    } else {
+      // Lambdas have no copy assignment: destroy + copy-construct.
+      assign_ = [](void* dst, const void* src) {
+        static_cast<Fn*>(dst)->~Fn();
+        ::new (dst) Fn(*static_cast<const Fn*>(src));
+      };
+    }
+  }
+
+  /// Replay-path update: overwrite the stored capture with the capture of
+  /// `fn`, which must be the same type as the originally-stored callable
+  /// (guaranteed by identical submission order in a persistent region).
+  template <class F>
+  void update(F&& fn) {
+    using Fn = std::decay_t<F>;
+    TDG_DCHECK(size_ == sizeof(Fn), "persistent replay type mismatch");
+    Fn tmp(std::forward<F>(fn));
+    if (assign_ == nullptr) {
+      std::memcpy(storage(), &tmp, sizeof(Fn));
+    } else {
+      assign_(storage(), &tmp);
+    }
+  }
+
+  void invoke() {
+    TDG_DCHECK(invoke_ != nullptr, "invoking empty task body");
+    invoke_(storage());
+  }
+
+  bool empty() const noexcept { return invoke_ == nullptr; }
+  std::size_t capture_bytes() const noexcept { return size_; }
+  bool trivially_copyable() const noexcept { return assign_ == nullptr; }
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      destroy_(storage());
+      invoke_ = nullptr;
+      destroy_ = nullptr;
+      assign_ = nullptr;
+    }
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{align_});
+      heap_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+ private:
+  void* storage() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* heap_ = nullptr;
+  std::size_t align_ = alignof(std::max_align_t);
+  std::size_t size_ = 0;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  void (*assign_)(void*, const void*) = nullptr;
+};
+
+/// Per-task options supplied at submission.
+struct TaskOpts {
+  const char* label = "";     ///< profiler label (static string)
+  Event* detach = nullptr;    ///< detach event; task completes on fulfill
+  bool internal = false;      ///< runtime-inserted node (e.g. inoutset R)
+};
+
+/// A task descriptor. Instances are reference counted: the dependency map,
+/// the persistent region and the task itself (until completion) each hold a
+/// reference, so a pointer obtained from the map is always valid.
+class Task {
+ public:
+  explicit Task(std::uint64_t id) : id_(id) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+
+  // --- descriptor reference counting -------------------------------------
+  void retain() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  /// Returns true when this release destroyed the task.
+  bool release() noexcept {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+      return true;
+    }
+    return false;
+  }
+
+  // --- edges ---------------------------------------------------------------
+  /// Outcome of attempting to create an edge  this -> succ.
+  enum class EdgeResult : std::uint8_t {
+    Created,   ///< edge recorded; successor refcount must be incremented
+    Pruned,    ///< predecessor already finished; no constraint needed
+    Recorded,  ///< persistent mode: edge recorded for replay, but the
+               ///< predecessor already finished so no refcount this round
+  };
+
+  /// Create a precedence edge from this task to `succ`. Thread-safe against
+  /// concurrent completion of `this`. In persistent mode edges to finished
+  /// predecessors are still recorded (the paper: "creating every edge is
+  /// necessary since no edges are recreated on future iterations").
+  EdgeResult add_successor(Task* succ, bool persistent) {
+    SpinGuard g(succ_lock_);
+    if (finished_flag_) {
+      if (!persistent) return EdgeResult::Pruned;
+      successors_.push_back(succ);
+      return EdgeResult::Recorded;
+    }
+    successors_.push_back(succ);
+    return EdgeResult::Created;
+  }
+
+  /// Snapshot successors and mark finished, so that later add_successor
+  /// calls observe completion. Called once per execution instance. When
+  /// `keep` (persistent task), the recorded list is preserved for replay.
+  std::vector<Task*> snapshot_successors_and_finish(bool keep) {
+    SpinGuard g(succ_lock_);
+    finished_flag_ = true;
+    if (keep) return successors_;  // copy
+    return std::move(successors_);
+  }
+
+  /// Persistent re-arm: clear the finished flag so the recorded successor
+  /// list applies again next iteration (the list is NOT cleared).
+  void rearm_persistent() {
+    SpinGuard g(succ_lock_);
+    finished_flag_ = false;
+  }
+
+  const std::vector<Task*>& successors_unsafe() const { return successors_; }
+
+  // --- readiness refcount ---------------------------------------------------
+  /// Predecessor counter. Convention: a task is created with value 1 (the
+  /// discovery guard); each inbound edge adds 1; the producer drops the
+  /// guard once the depend clause is fully processed. Reaching 0 => ready.
+  std::atomic<std::int32_t> npredecessors{1};
+
+  /// Completion latch: 1 for the body, +1 when a detach event is attached.
+  std::atomic<std::int32_t> completion_latch{1};
+
+  // --- persistent-graph bookkeeping -----------------------------------------
+  bool persistent = false;
+  /// Total inbound edges recorded during first-iteration discovery,
+  /// including edges to then-already-finished predecessors.
+  std::int32_t persistent_indegree = 0;
+
+  // --- duplicate-edge detection (optimization (b)) ---------------------------
+  /// Id of the most recent successor an edge was created to. Discovery is
+  /// sequential, so a repeated (pred,succ) pair is detected in O(1).
+  std::uint64_t last_successor_id = 0;
+
+  // --- body / metadata -------------------------------------------------------
+  TaskBody body;
+  TaskOpts opts;
+  Event* detach_event = nullptr;
+  std::atomic<TaskState> state{TaskState::Created};
+
+  // --- profiling --------------------------------------------------------------
+  std::uint64_t t_create = 0;
+  std::uint64_t t_ready = 0;
+  std::uint64_t t_start = 0;
+  std::uint64_t t_end = 0;
+  std::uint32_t exec_thread = 0;
+  std::uint32_t iteration = 0;  ///< persistent-region iteration index
+
+ private:
+  ~Task() = default;  // heap-only; destroyed via release()
+
+  const std::uint64_t id_;
+  std::atomic<std::int32_t> refs_{1};
+
+  SpinLock succ_lock_;
+  bool finished_flag_ = false;
+  std::vector<Task*> successors_;
+};
+
+}  // namespace tdg

@@ -1,0 +1,18 @@
+// Umbrella header for the tdg dependent-task runtime.
+//
+// tdg reproduces the runtime system of Pereira et al., "Investigating
+// Dependency Graph Discovery Impact on Task-based MPI+OpenMP Applications
+// Performances" (ICPP 2023): an OpenMP-style dependent-task engine with
+// sequential TDG discovery overlapped with parallel execution, discovery
+// optimizations (duplicate-edge elimination, inoutset redirection) and the
+// Persistent Task Sub-Graph extension.
+#pragma once
+
+#include "core/common.hpp"
+#include "core/depend.hpp"
+#include "core/depend_types.hpp"
+#include "core/persistent.hpp"
+#include "core/profiler.hpp"
+#include "core/runtime.hpp"
+#include "core/scheduler.hpp"
+#include "core/task.hpp"

@@ -1,0 +1,57 @@
+#include "mpi/interop.hpp"
+
+#include "core/common.hpp"
+
+namespace tdg::mpi {
+
+void RequestPoller::complete_on_event(Request r, Event* ev, bool collective) {
+  Tracked t;
+  t.req = std::move(r);
+  t.ev = ev;
+  t.span.post_ns = now_ns();
+  t.span.collective = collective;
+  if (t.req.done()) {  // completed immediately (eager / already matched)
+    t.span.complete_ns = t.span.post_ns;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      done_.push_back(t.span);
+    }
+    ev->fulfill();
+    return;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  pending_.push_back(std::move(t));
+}
+
+void RequestPoller::poll() {
+  // Collect fulfilled events outside the lock: fulfill() may complete a
+  // task, whose successors could re-enter complete_on_event.
+  std::vector<Event*> ready;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::size_t i = 0; i < pending_.size();) {
+      if (pending_[i].req.done()) {
+        pending_[i].span.complete_ns = now_ns();
+        done_.push_back(pending_[i].span);
+        ready.push_back(pending_[i].ev);
+        pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (Event* ev : ready) ev->fulfill();
+}
+
+std::vector<RequestSpan> RequestPoller::completed_spans() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return done_;
+}
+
+std::size_t RequestPoller::pending() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return pending_.size();
+}
+
+}  // namespace tdg::mpi

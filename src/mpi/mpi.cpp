@@ -1,0 +1,217 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+#include "core/common.hpp"
+
+namespace tdg::mpi {
+namespace detail {
+
+namespace {
+double reduce_one(Op op, double a, double b) {
+  switch (op) {
+    case Op::Min:
+      return std::min(a, b);
+    case Op::Max:
+      return std::max(a, b);
+    case Op::Sum:
+      return a + b;
+  }
+  return a;
+}
+}  // namespace
+
+// One in-flight message, staged (eager) or referencing the sender's buffer
+// (rendezvous, completed by the receiver at match time).
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  const void* src_buf = nullptr;      // rendezvous only
+  std::vector<std::byte> staged;      // eager only
+  std::shared_ptr<ReqState> sreq;     // rendezvous sender request
+};
+
+struct PostedRecv {
+  int src = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  void* buf = nullptr;
+  std::shared_ptr<ReqState> rreq;
+};
+
+// Per-destination-rank matching queues (an MPI matching engine).
+struct Mailbox {
+  std::mutex mu;
+  std::deque<Message> unexpected;
+  std::deque<PostedRecv> posted;
+};
+
+struct CollectiveSlot {
+  int contributed = 0;
+  Op op = Op::Sum;
+  std::size_t count = 0;
+  /// Contributions keyed by rank: the reduction is applied in rank order
+  /// at completion, so floating-point results are deterministic across
+  /// runs regardless of arrival order.
+  std::vector<std::vector<double>> by_rank;
+  struct Out {
+    double* buf;
+    std::shared_ptr<ReqState> req;
+  };
+  std::vector<Out> outs;
+};
+
+struct World {
+  int nranks = 0;
+  std::size_t eager_threshold = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::mutex coll_mu;
+  std::unordered_map<std::uint64_t, CollectiveSlot> collectives;
+};
+
+}  // namespace detail
+
+using detail::Mailbox;
+using detail::Message;
+using detail::PostedRecv;
+using detail::ReqState;
+
+int Comm::size() const { return world_->nranks; }
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
+  TDG_CHECK(dest >= 0 && dest < world_->nranks, "isend: bad destination");
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+  auto sreq = std::make_shared<ReqState>();
+  Mailbox& mb = *world_->mailboxes[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> g(mb.mu);
+  // Non-overtaking: only match the *first* posted receive for (src,tag).
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    if (it->src == rank_ && it->tag == tag) {
+      TDG_CHECK(it->bytes >= bytes, "isend: receive buffer too small");
+      std::memcpy(it->buf, buf, bytes);
+      it->rreq->done.store(true, std::memory_order_release);
+      mb.posted.erase(it);
+      sreq->done.store(true, std::memory_order_release);
+      ++stats_.eager_sends;  // direct copy: counts as eager completion
+      return Request(std::move(sreq));
+    }
+  }
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.bytes = bytes;
+  if (bytes <= world_->eager_threshold) {
+    m.staged.resize(bytes);
+    std::memcpy(m.staged.data(), buf, bytes);
+    sreq->done.store(true, std::memory_order_release);
+    ++stats_.eager_sends;
+  } else {
+    m.src_buf = buf;
+    m.sreq = sreq;
+    ++stats_.rendezvous_sends;
+  }
+  mb.unexpected.push_back(std::move(m));
+  return Request(std::move(sreq));
+}
+
+Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
+  TDG_CHECK(src >= 0 && src < world_->nranks, "irecv: bad source");
+  ++stats_.recvs;
+  auto rreq = std::make_shared<ReqState>();
+  Mailbox& mb = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> g(mb.mu);
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      TDG_CHECK(bytes >= it->bytes, "irecv: receive buffer too small");
+      if (it->src_buf != nullptr) {  // rendezvous: copy + release sender
+        std::memcpy(buf, it->src_buf, it->bytes);
+        it->sreq->done.store(true, std::memory_order_release);
+      } else {
+        std::memcpy(buf, it->staged.data(), it->bytes);
+      }
+      mb.unexpected.erase(it);
+      rreq->done.store(true, std::memory_order_release);
+      return Request(std::move(rreq));
+    }
+  }
+  mb.posted.push_back(PostedRecv{src, tag, bytes, buf, rreq});
+  return Request(std::move(rreq));
+}
+
+Request Comm::iallreduce(const double* sendbuf, double* recvbuf,
+                         std::size_t count, Op op) {
+  ++stats_.allreduces;
+  const std::uint64_t slot_id = coll_seq_++;
+  auto req = std::make_shared<ReqState>();
+  std::lock_guard<std::mutex> g(world_->coll_mu);
+  detail::CollectiveSlot& slot = world_->collectives[slot_id];
+  if (slot.contributed == 0) {
+    slot.op = op;
+    slot.count = count;
+    slot.by_rank.resize(static_cast<std::size_t>(world_->nranks));
+  } else {
+    TDG_CHECK(slot.count == count && slot.op == op,
+              "iallreduce: mismatched count/op across ranks");
+  }
+  slot.by_rank[static_cast<std::size_t>(rank_)].assign(sendbuf,
+                                                       sendbuf + count);
+  slot.outs.push_back({recvbuf, req});
+  ++slot.contributed;
+  if (slot.contributed == world_->nranks) {
+    std::vector<double> acc = slot.by_rank[0];
+    for (int r = 1; r < world_->nranks; ++r) {
+      const auto& c = slot.by_rank[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < count; ++i) {
+        acc[i] = detail::reduce_one(op, acc[i], c[i]);
+      }
+    }
+    for (auto& out : slot.outs) {
+      std::memcpy(out.buf, acc.data(), count * sizeof(double));
+      out.req->done.store(true, std::memory_order_release);
+    }
+    world_->collectives.erase(slot_id);
+  }
+  return Request(std::move(req));
+}
+
+void Comm::barrier() {
+  double in = 0, out = 0;
+  allreduce(&in, &out, 1, Op::Sum);
+}
+
+void Comm::wait(const Request& r) const {
+  while (!r.done()) std::this_thread::yield();
+}
+
+void Comm::waitall(const std::vector<Request>& rs) const {
+  for (const Request& r : rs) wait(r);
+}
+
+void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
+                   Options opts) {
+  TDG_CHECK(nranks > 0, "Universe requires at least one rank");
+  detail::World world;
+  world.nranks = nranks;
+  world.eager_threshold = opts.eager_threshold;
+  world.mailboxes.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    world.mailboxes.push_back(std::make_unique<Mailbox>());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, r] {
+      Comm comm(world, r);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace tdg::mpi

@@ -1,0 +1,128 @@
+// In-process MPI-like message-passing substrate: ranks are threads of one
+// process, exchanging messages through matched mailboxes.
+//
+// This reproduces the MPI semantics the paper's interoperability study
+// depends on: nonblocking point-to-point with an eager protocol below a
+// size threshold and a rendezvous protocol above it (Section 4.1: O(1) and
+// O(s) byte requests are eager, O(s^2) use rendezvous), nonblocking
+// allreduce collectives, and test/wait progress probing suitable for
+// polling at OpenMP scheduling points.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdg::mpi {
+
+/// Reduction operator for allreduce.
+enum class Op { Min, Max, Sum };
+
+namespace detail {
+struct ReqState {
+  std::atomic<bool> done{false};
+};
+struct World;
+}  // namespace detail
+
+/// Handle to a nonblocking operation. Copyable; all copies observe the same
+/// completion state.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+  /// True once the operation has completed (buffer reusable / data
+  /// delivered). Does not block.
+  bool done() const {
+    return state_ == nullptr ||
+           state_->done.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::ReqState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ReqState> state_;
+};
+
+/// Traffic counters for one rank (communication-profiling substrate).
+struct CommStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t eager_sends = 0;
+  std::uint64_t rendezvous_sends = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t allreduces = 0;
+};
+
+/// A communicator bound to one rank of a Universe. All members may be
+/// called only from that rank's thread (like an MPI process), except
+/// `test`, which is thread-safe so OpenMP workers can poll requests.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Nonblocking send. Eager below the universe's threshold (the payload
+  /// is staged; the request completes immediately), rendezvous above it
+  /// (the request completes when the receiver matches and copies).
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag);
+  /// Nonblocking receive with exact (src, tag) matching, non-overtaking.
+  Request irecv(void* buf, std::size_t bytes, int src, int tag);
+
+  /// Nonblocking elementwise allreduce over doubles. All ranks must call
+  /// with the same count and op; calls match by per-rank sequence number.
+  Request iallreduce(const double* sendbuf, double* recvbuf,
+                     std::size_t count, Op op);
+
+  /// Blocking helpers.
+  void send(const void* buf, std::size_t bytes, int dest, int tag) {
+    wait(isend(buf, bytes, dest, tag));
+  }
+  void recv(void* buf, std::size_t bytes, int src, int tag) {
+    wait(irecv(buf, bytes, src, tag));
+  }
+  void allreduce(const double* sendbuf, double* recvbuf, std::size_t count,
+                 Op op) {
+    wait(iallreduce(sendbuf, recvbuf, count, op));
+  }
+  void barrier();
+
+  /// Thread-safe completion probe (MPI_Test).
+  static bool test(const Request& r) { return r.done(); }
+  /// Spin-wait with yield (MPI_Wait).
+  void wait(const Request& r) const;
+  void waitall(const std::vector<Request>& rs) const;
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class Universe;
+  Comm(detail::World& world, int rank) : world_(&world), rank_(rank) {}
+
+  detail::World* world_;
+  int rank_;
+  std::uint64_t coll_seq_ = 0;
+  CommStats stats_;
+};
+
+/// A set of ranks running as threads of this process.
+class Universe {
+ public:
+  struct Options {
+    std::size_t eager_threshold = 8 * 1024;  ///< bytes
+  };
+
+  /// Spawn `nranks` threads, run `fn(comm)` on each, join.
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  Options opts);
+  static void run(int nranks, const std::function<void(Comm&)>& fn) {
+    run(nranks, fn, Options{});
+  }
+};
+
+}  // namespace tdg::mpi

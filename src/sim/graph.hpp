@@ -1,0 +1,131 @@
+// Simulator task graphs: task descriptors with cost-model attributes, and a
+// builder that resolves depend clauses into edges with exactly the core
+// runtime's semantics (in/out/inout/inoutset, optimizations (b) and (c)).
+// Addresses are abstract 64-bit identities, so application graph generators
+// can be shared between the real runtime and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/depend_types.hpp"
+
+namespace tdg::sim {
+
+enum class SimTaskKind : std::uint8_t {
+  Compute,    ///< cpu_seconds + bytes through the cache model
+  Send,       ///< posts a message; completes when the transfer does
+  Recv,       ///< posts a receive; completes at delivery
+  Allreduce,  ///< posts a collective contribution
+  Redirect,   ///< runtime-internal inoutset node (optimization (c))
+};
+
+/// Abstract depend-clause item on a logical address.
+struct SimDep {
+  std::uint64_t addr = 0;
+  DependType type = DependType::In;
+
+  static constexpr SimDep in(std::uint64_t a) {
+    return {a, DependType::In};
+  }
+  static constexpr SimDep out(std::uint64_t a) {
+    return {a, DependType::Out};
+  }
+  static constexpr SimDep inout(std::uint64_t a) {
+    return {a, DependType::InOut};
+  }
+  static constexpr SimDep inoutset(std::uint64_t a) {
+    return {a, DependType::InOutSet};
+  }
+};
+
+/// Cost-model attributes supplied by the application graph generator.
+struct SimTaskAttrs {
+  double cpu_seconds = 0;      ///< pure compute time
+  std::uint64_t bytes = 0;     ///< working set (cache/DRAM model)
+  SimTaskKind kind = SimTaskKind::Compute;
+  int peer = -1;               ///< Send/Recv peer rank
+  int tag = 0;                 ///< Send/Recv matching tag
+  std::uint64_t msg_bytes = 0; ///< payload of Send/Recv/Allreduce
+  std::uint32_t iteration = 0; ///< application iteration (Gantt colour)
+  const char* label = "";
+};
+
+/// One task of a simulator graph, with resolved dependency edges.
+struct SimTaskDesc {
+  SimTaskAttrs attrs;
+  int ndeps = 0;  ///< depend-clause items (discovery hashing cost)
+  /// Predecessor indices; duplicates are kept when optimization (b) is
+  /// off, exactly as the real runtime materializes duplicate edges.
+  std::vector<std::uint32_t> preds;
+};
+
+/// An immutable task graph for the simulator (one MPI rank's TDG).
+struct SimGraph {
+  std::vector<SimTaskDesc> tasks;
+  std::uint64_t duplicate_edges_skipped = 0;  ///< dropped by opt (b)
+  std::uint64_t redirect_nodes = 0;           ///< inserted by opt (c)
+
+  std::uint64_t structural_edges() const {
+    std::uint64_t n = 0;
+    for (const auto& t : tasks) n += t.preds.size();
+    return n;
+  }
+  /// Successor adjacency, computed on demand by the simulator.
+  std::vector<std::vector<std::uint32_t>> successors() const;
+};
+
+/// Sequential-discovery dependency resolution on abstract addresses.
+/// Mirrors core/depend.cpp; kept index-based so graphs are cheap to build
+/// and replay. A divergence between the two implementations is caught by
+/// tests/test_sim_graph.cpp which compares edge sets on the same clauses.
+class SimGraphBuilder {
+ public:
+  struct Options {
+    bool dedup_edges = true;        ///< optimization (b)
+    bool inoutset_redirect = true;  ///< optimization (c)
+  };
+
+  SimGraphBuilder() : SimGraphBuilder(Options{}) {}
+  explicit SimGraphBuilder(Options opts) : opts_(opts) {}
+
+  /// Append a task with the given depend clause; returns its index.
+  std::uint32_t task(const SimTaskAttrs& attrs, std::span<const SimDep> deps);
+  std::uint32_t task(const SimTaskAttrs& attrs,
+                     std::initializer_list<SimDep> deps) {
+    return task(attrs, std::span<const SimDep>(deps.begin(), deps.size()));
+  }
+
+  /// Forget the access history (between independent phases).
+  void clear_scope() { entries_.clear(); }
+
+  /// Number of tasks added so far.
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(graph_.tasks.size());
+  }
+
+  SimGraph take() { return std::move(graph_); }
+
+ private:
+  struct AddrEntry {
+    std::vector<std::uint32_t> last_mod;
+    bool mod_is_set = false;
+    std::vector<std::uint32_t> gen_base;
+    std::vector<std::uint32_t> readers;
+    std::int64_t redirect = -1;
+  };
+
+  void edge(std::uint32_t pred, std::uint32_t succ);
+  void edges_from_mod(AddrEntry& e, std::uint32_t succ);
+  std::uint32_t make_redirect(AddrEntry& e);
+
+  Options opts_;
+  SimGraph graph_;
+  std::unordered_map<std::uint64_t, AddrEntry> entries_;
+  std::vector<std::int64_t> last_succ_;  ///< per-task last successor (opt b)
+};
+
+}  // namespace tdg::sim

@@ -1,0 +1,703 @@
+#include "sim/sim_runtime.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "core/common.hpp"
+
+namespace tdg::sim {
+
+namespace {
+
+enum class EvType : std::uint8_t {
+  ProducerStep,  ///< producer core became free: discover / help / barrier
+  TaskFinish,    ///< compute task body completed on a core
+  CoreFree,      ///< core released after posting a communication
+  CommComplete,  ///< detached communication completed (network time)
+  TaskResolve,   ///< base discovery done: resolve edges against live state
+  TaskVisible,   ///< discovery of this task finished: it may become ready
+};
+
+struct Ev {
+  double t = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break => deterministic replay
+  EvType type = EvType::ProducerStep;
+  int rank = 0;
+  int core = 0;
+  std::uint32_t task = 0;
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+struct P2PKey {
+  int src, dst, tag;
+  bool operator==(const P2PKey&) const = default;
+};
+struct P2PKeyHash {
+  std::size_t operator()(const P2PKey& k) const {
+    std::uint64_t h = static_cast<std::uint32_t>(k.src);
+    h = h * 1000003u + static_cast<std::uint32_t>(k.dst);
+    h = h * 1000003u + static_cast<std::uint32_t>(k.tag);
+    return static_cast<std::size_t>(h * 0x9E3779B97F4A7C15ull >> 16);
+  }
+};
+
+struct PostedMsg {
+  double t;            // post time
+  std::uint64_t bytes;
+  int rank;
+  std::uint32_t task;
+};
+
+struct CollSlot {
+  int posted = 0;
+  double max_t = 0;
+  std::vector<std::pair<int, std::uint32_t>> members;  // (rank, task)
+};
+
+}  // namespace
+
+struct ClusterSim::Impl {
+  explicit Impl(SimConfig c) : cfg(std::move(c)) {
+    const int n = cfg.representative ? 1 : cfg.nranks;
+    ranks.resize(static_cast<std::size_t>(n));
+  }
+
+  // ---- per-rank simulation state -----------------------------------------
+  struct TaskState {
+    std::int32_t npred = 0;
+    bool discovered = false;
+    bool finished = false;
+    bool comm_posted = false;
+    int exec_core = -1;
+    double finish_coreclk = 0;
+    double finish_globalclk = 0;
+    double cur_work = 0;         // duration of the running instance
+    double comm_post_t = 0;      // communication span start
+    double comm_post_integral = 0;
+  };
+
+  struct Core {
+    std::deque<std::uint32_t> dq;
+    bool busy = false;
+    double byte_clk = 0;  // monotonic bytes executed on this core
+    double work = 0;
+    double overhead = 0;
+  };
+
+  struct Rank {
+    const SimGraph* g = nullptr;
+    std::vector<std::vector<std::uint32_t>> succs;
+    std::vector<TaskState> ts;
+    std::vector<Core> cores;
+    double global_clk = 0;  // monotonic bytes executed on this rank
+    std::uint32_t cursor = 0;
+    int iteration = 0;
+    std::uint32_t finished_count = 0;
+    std::size_t ready = 0;
+    std::size_t live = 0;
+    bool producer_waiting = false;
+    bool done = false;
+    double end_time = 0;
+    std::uint64_t coll_seq = 0;
+    // overlap accounting
+    double work_integral = 0;
+    double integral_t = 0;
+    int active_compute = 0;
+    double iter_discovery = 0;  // discovery seconds, current iteration
+    RankResult res;
+  };
+
+  SimConfig cfg;
+  std::vector<Rank> ranks;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue;
+  std::uint64_t seq = 0;
+  double now = 0;
+  std::unordered_map<P2PKey, std::pair<std::deque<PostedMsg>,
+                                       std::deque<PostedMsg>>,
+                     P2PKeyHash>
+      p2p;  // sends, recvs
+  std::unordered_map<std::uint64_t, CollSlot> collectives;
+
+  void push(double t, EvType type, int rank, int core = 0,
+            std::uint32_t task = 0) {
+    queue.push(Ev{t, seq++, type, rank, core, task});
+  }
+
+  // ---- helpers -------------------------------------------------------------
+  const SimTaskDesc& desc(const Rank& r, std::uint32_t t) const {
+    return r.g->tasks[t];
+  }
+
+  void advance_integral(Rank& r, double t) {
+    r.work_integral += r.active_compute * (t - r.integral_t);
+    r.integral_t = t;
+  }
+
+  double allreduce_close_time() const {
+    const double p = std::max(2, cfg.nranks);
+    return cfg.network.allreduce_alpha * std::ceil(std::log2(p)) +
+           cfg.network.allreduce_beta;
+  }
+  double transfer_time(std::uint64_t bytes) const {
+    const bool eager = bytes <= cfg.network.eager_threshold;
+    return (eager ? cfg.network.eager_latency
+                  : cfg.network.rendezvous_latency) +
+           static_cast<double>(bytes) / cfg.network.bandwidth;
+  }
+
+  void wake_producer(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    if (r.producer_waiting) {
+      r.producer_waiting = false;
+      push(t, EvType::ProducerStep, rank);
+    }
+  }
+
+  // Push a ready task to `core`'s deque head and try to dispatch idle cores.
+  void make_ready(int rank, std::uint32_t task, int core, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    if (desc(r, task).attrs.kind == SimTaskKind::Redirect) {
+      finish_common(rank, task, t);  // internal nodes complete inline
+      return;
+    }
+    r.cores[static_cast<std::size_t>(core)].dq.push_front(task);
+    ++r.ready;
+    dispatch_idle(rank, t);
+    wake_producer(rank, t);
+  }
+
+  // Owner pop / steal mirroring the real WorkDeque discipline.
+  bool obtain(Rank& r, int core, std::uint32_t& out) {
+    Core& own = r.cores[static_cast<std::size_t>(core)];
+    if (!own.dq.empty()) {
+      if (cfg.policy == SimPolicy::DepthFirstLifo) {
+        out = own.dq.front();
+        own.dq.pop_front();
+      } else {
+        out = own.dq.back();
+        own.dq.pop_back();
+      }
+      return true;
+    }
+    const int n = static_cast<int>(r.cores.size());
+    for (int k = 1; k < n; ++k) {
+      Core& v = r.cores[static_cast<std::size_t>((core + k) % n)];
+      if (!v.dq.empty()) {
+        out = v.dq.back();  // steal the oldest
+        v.dq.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool throttled(const Rank& r) const {
+    return r.ready > cfg.throttle.max_ready ||
+           r.live > cfg.throttle.max_total;
+  }
+
+  void dispatch_idle(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    // Non-overlapped mode (Table 1): nothing executes until the whole
+    // graph has been discovered.
+    if (cfg.non_overlapped &&
+        r.cursor < static_cast<std::uint32_t>(r.g->tasks.size())) {
+      return;
+    }
+    // Core 0 is the producer; it picks up work through ProducerStep.
+    for (int c = 1; c < static_cast<int>(r.cores.size()); ++c) {
+      if (r.cores[static_cast<std::size_t>(c)].busy) continue;
+      std::uint32_t task;
+      if (!obtain(r, c, task)) break;  // nothing stealable anywhere
+      start_execution(rank, c, task, t);
+    }
+  }
+
+  // ---- cost model -----------------------------------------------------------
+  double compute_duration(Rank& r, int core, std::uint32_t task) {
+    const auto& a = desc(r, task).attrs;
+    const auto& m = cfg.machine;
+    const double contention =
+        std::max(1.0, static_cast<double>(r.active_compute + 1) /
+                          m.dram_streams);
+    double remaining = static_cast<double>(a.bytes);
+    double mem = 0;
+    std::uint64_t lines;
+    Core& c = r.cores[static_cast<std::size_t>(core)];
+    for (std::uint32_t p : desc(r, task).preds) {
+      if (remaining <= 0) break;
+      const TaskState& pt = r.ts[p];
+      const double pb = static_cast<double>(desc(r, p).attrs.bytes);
+      if (pb <= 0 || !pt.finished) continue;
+      const double b = std::min(pb, remaining);
+      remaining -= b;
+      lines = static_cast<std::uint64_t>(b / 64.0);
+      // A level holds the data only if footprint + intervening traffic
+      // since the producer wrote it still fits its capacity.
+      const double core_span = c.byte_clk - pt.finish_coreclk + b;
+      const double l3_span = r.global_clk - pt.finish_globalclk + b;
+      if (pt.exec_core == core && core_span <= m.l1_bytes) {
+        mem += b * m.l1_cost_per_byte;  // still L1-resident: no misses
+      } else if (pt.exec_core == core && core_span <= m.l2_bytes) {
+        mem += b * m.l2_cost_per_byte;
+        r.res.cache.l1_misses += lines;
+      } else if (l3_span <= m.l3_bytes) {
+        mem += b * m.l3_cost_per_byte;
+        r.res.cache.l1_misses += lines;
+        r.res.cache.l2_misses += lines;
+      } else {
+        mem += b * m.dram_cost_per_byte * contention;
+        r.res.cache.l1_misses += lines;
+        r.res.cache.l2_misses += lines;
+        r.res.cache.l3_misses += lines;
+      }
+    }
+    if (remaining > 0) {  // cold data: first touch comes from DRAM
+      lines = static_cast<std::uint64_t>(remaining / 64.0);
+      mem += remaining * m.dram_cost_per_byte * contention;
+      r.res.cache.l1_misses += lines;
+      r.res.cache.l2_misses += lines;
+      r.res.cache.l3_misses += lines;
+    }
+    r.res.cache.stall_seconds += mem;
+    return a.cpu_seconds + mem;
+  }
+
+  // ---- execution -----------------------------------------------------------
+  void start_execution(int rank, int core, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    --r.ready;
+    Core& c = r.cores[static_cast<std::size_t>(core)];
+    c.busy = true;
+    c.overhead += cfg.sched_cost;
+    const auto& a = desc(r, task).attrs;
+    switch (a.kind) {
+      case SimTaskKind::Compute:
+      case SimTaskKind::Redirect: {
+        advance_integral(r, t);
+        const double dur = compute_duration(r, core, task);
+        ++r.active_compute;
+        ts.cur_work = dur;
+        ts.exec_core = core;
+        push(t + cfg.sched_cost + dur, EvType::TaskFinish, rank, core, task);
+        break;
+      }
+      case SimTaskKind::Send:
+      case SimTaskKind::Recv:
+      case SimTaskKind::Allreduce: {
+        // Posting occupies the core for cpu_seconds; the task itself is
+        // detached and completes at network time.
+        const double t_post = t + cfg.sched_cost + a.cpu_seconds;
+        c.work += a.cpu_seconds;
+        ts.exec_core = core;
+        ts.cur_work = a.cpu_seconds;
+        advance_integral(r, t);
+        // The span starts when the core begins posting, matching the
+        // overlap integral's origin (ratio stays <= 1 by construction).
+        ts.comm_post_t = t;
+        ts.comm_post_integral = r.work_integral;
+        ts.comm_posted = true;
+        post_comm(rank, task, t_post);
+        push(t_post, EvType::CoreFree, rank, core, task);
+        break;
+      }
+    }
+  }
+
+  void post_comm(int rank, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    const auto& a = desc(r, task).attrs;
+    const bool eager = a.msg_bytes <= cfg.network.eager_threshold;
+    if (cfg.representative) {
+      double tc = t;
+      switch (a.kind) {
+        case SimTaskKind::Send:
+          tc = eager ? t
+                     : t + cfg.network.peer_skew + transfer_time(a.msg_bytes);
+          break;
+        case SimTaskKind::Recv:
+          tc = t + cfg.network.peer_skew + transfer_time(a.msg_bytes);
+          break;
+        case SimTaskKind::Allreduce:
+          tc = t + cfg.network.peer_skew + allreduce_close_time();
+          break;
+        default:
+          break;
+      }
+      push(tc, EvType::CommComplete, rank, 0, task);
+      return;
+    }
+    switch (a.kind) {
+      case SimTaskKind::Send: {
+        if (eager) push(t, EvType::CommComplete, rank, 0, task);
+        P2PKey key{rank, a.peer, a.tag};
+        auto& [sends, recvs] = p2p[key];
+        if (!recvs.empty()) {
+          const PostedMsg rv = recvs.front();
+          recvs.pop_front();
+          const double tend =
+              std::max(t, rv.t) + transfer_time(a.msg_bytes);
+          push(tend, EvType::CommComplete, rv.rank, 0, rv.task);
+          if (!eager) push(tend, EvType::CommComplete, rank, 0, task);
+        } else {
+          sends.push_back(PostedMsg{t, a.msg_bytes, rank, task});
+        }
+        break;
+      }
+      case SimTaskKind::Recv: {
+        P2PKey key{a.peer, rank, a.tag};
+        auto& [sends, recvs] = p2p[key];
+        if (!sends.empty()) {
+          const PostedMsg sd = sends.front();
+          sends.pop_front();
+          const bool s_eager = sd.bytes <= cfg.network.eager_threshold;
+          const double tend = std::max(t, sd.t) + transfer_time(sd.bytes);
+          push(tend, EvType::CommComplete, rank, 0, task);
+          if (!s_eager) push(tend, EvType::CommComplete, sd.rank, 0, sd.task);
+        } else {
+          recvs.push_back(PostedMsg{t, a.msg_bytes, rank, task});
+        }
+        break;
+      }
+      case SimTaskKind::Allreduce: {
+        CollSlot& slot = collectives[r.coll_seq++];
+        slot.max_t = std::max(slot.max_t, t);
+        slot.members.emplace_back(rank, task);
+        if (++slot.posted == cfg.nranks) {
+          const double tend = slot.max_t + allreduce_close_time();
+          for (auto [rk, tk] : slot.members) {
+            push(tend, EvType::CommComplete, rk, 0, tk);
+          }
+          collectives.erase(r.coll_seq - 1);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Completion bookkeeping shared by compute finish / comm completion /
+  // inline redirect nodes: release successors, count, detect barriers.
+  void finish_common(int rank, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    ts.finished = true;
+    ++r.finished_count;
+    ++r.res.tasks_executed;
+    if (r.live > 0) --r.live;
+    for (std::uint32_t s : r.succs[task]) {
+      TaskState& st = r.ts[s];
+      // Successors not yet discovered hold no edge to us (it will be
+      // pruned at their discovery); only discovered ones carry a count.
+      if (st.discovered && --st.npred == 0) {
+        make_ready(rank, s, ts.exec_core >= 0 ? ts.exec_core : 0, t);
+      }
+    }
+    wake_producer(rank, t);
+    check_rank_completion(rank, t);
+  }
+
+  void on_task_finish(int rank, int core, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    Core& c = r.cores[static_cast<std::size_t>(core)];
+    advance_integral(r, t);
+    --r.active_compute;
+    c.work += ts.cur_work;
+    const auto& a = desc(r, task).attrs;
+    c.byte_clk += static_cast<double>(a.bytes);
+    r.global_clk += static_cast<double>(a.bytes);
+    ts.finish_coreclk = c.byte_clk;
+    ts.finish_globalclk = r.global_clk;
+    if (cfg.trace && (cfg.trace_rank < 0 || cfg.trace_rank == rank)) {
+      // Persistent replays inherit the rank's live iteration counter.
+      const std::uint32_t iter =
+          cfg.persistent ? static_cast<std::uint32_t>(r.iteration)
+                         : a.iteration;
+      r.res.trace.push_back(
+          SimTraceRecord{task, core, t - ts.cur_work, t, iter, a.label});
+    }
+    // The core stays marked busy through successor release: dispatch_idle
+    // inside finish_common must not hand it a second task (this handler
+    // picks the next one itself, depth-first from its own deque head).
+    finish_common(rank, task, t);
+    c.busy = false;
+    if (r.done) return;
+    if (core == 0) {
+      push(t, EvType::ProducerStep, rank);
+    } else {
+      std::uint32_t next;
+      if (obtain(r, core, next)) {
+        start_execution(rank, core, next, t);
+      }
+    }
+  }
+
+  void on_comm_complete(int rank, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    advance_integral(r, t);
+    const auto& a = desc(r, task).attrs;
+    // Section 4.1 metrics: c(r) for send + collective requests, and the
+    // work overlapped with them.
+    if (a.kind == SimTaskKind::Send || a.kind == SimTaskKind::Allreduce) {
+      const double span = t - ts.comm_post_t;
+      r.res.comm.total_comm_seconds += span;
+      if (a.kind == SimTaskKind::Send) {
+        r.res.comm.p2p_seconds += span;
+      } else {
+        r.res.comm.collective_seconds += span;
+      }
+      r.res.comm.overlapped_work +=
+          r.work_integral - ts.comm_post_integral;
+      ++r.res.comm.requests;
+    }
+    if (cfg.trace && (cfg.trace_rank < 0 || cfg.trace_rank == rank)) {
+      const std::uint32_t iter =
+          cfg.persistent ? static_cast<std::uint32_t>(r.iteration)
+                         : a.iteration;
+      r.res.trace.push_back(SimTraceRecord{task, ts.exec_core,
+                                           ts.comm_post_t, t, iter,
+                                           a.label});
+    }
+    finish_common(rank, task, t);
+    if (!r.done) dispatch_idle(rank, t);
+  }
+
+  // ---- discovery (producer core) -------------------------------------------
+  void on_producer_step(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    if (r.done || r.cores[0].busy) return;
+    const std::uint32_t n = static_cast<std::uint32_t>(r.g->tasks.size());
+    const bool discovering = r.cursor < n;
+    if (discovering && (!throttled(r) || cfg.non_overlapped)) {
+      discover_next(rank, t);
+      return;
+    }
+    // Throttled, or discovery done: help execute (the producer is one of
+    // the team's threads, "including the producer", Section 1).
+    dispatch_idle(rank, t);  // kick workers (needed after non-overlapped
+                             // discovery completes)
+    std::uint32_t task;
+    if (obtain(r, 0, task)) {
+      start_execution(rank, 0, task, t);
+      return;
+    }
+    maybe_advance_iteration(rank, t);
+    if (!r.done) r.producer_waiting = true;
+  }
+
+  void discover_next(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    const std::uint32_t n = static_cast<std::uint32_t>(r.g->tasks.size());
+    const bool replaying = cfg.persistent && r.iteration > 0;
+    if (replaying) {
+      // Internal redirect nodes are not re-submitted by the producer.
+      while (r.cursor < n &&
+             desc(r, r.cursor).attrs.kind == SimTaskKind::Redirect) {
+        ++r.cursor;
+      }
+      if (r.cursor == n) {
+        push(t, EvType::ProducerStep, rank);
+        return;
+      }
+    }
+    const std::uint32_t task = r.cursor++;
+    const SimTaskDesc& d = desc(r, task);
+    const DiscoveryCosts& dc = cfg.discovery;
+    // The producer core stays occupied through the discovery interval; the
+    // TaskVisible event (lower seq, same time) releases it before the
+    // chained ProducerStep runs.
+    r.cores[0].busy = true;
+    if (replaying) {
+      const double cost = dc.per_replay;  // the firstprivate memcpy
+      charge_discovery(r, cost);
+      push(t + cost, EvType::TaskVisible, rank, 0, task);
+      push(t + cost, EvType::ProducerStep, rank);
+      return;
+    }
+    // Two-phase: descriptor allocation + clause hashing now; edges are
+    // resolved against the *live* execution state when that base work is
+    // done, so predecessors consumed meanwhile are pruned — the overlap
+    // mechanism of Section 2.3.3.
+    const double base = dc.per_task + dc.per_dep * d.ndeps;
+    charge_discovery(r, base);
+    push(t + base, EvType::TaskResolve, rank, 0, task);
+  }
+
+  void charge_discovery(Rank& r, double cost) {
+    r.cores[0].overhead += cost;
+    r.res.discovery_seconds += cost;
+    r.iter_discovery += cost;
+  }
+
+  void on_task_resolve(int rank, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    const SimTaskDesc& d = desc(r, task);
+    const DiscoveryCosts& dc = cfg.discovery;
+    double cost = 0;
+    std::int32_t np = 0;
+    for (std::uint32_t p : d.preds) {
+      if (r.ts[p].finished) {
+        if (cfg.persistent) {
+          // Iteration 0 of a persistent region records every edge.
+          cost += dc.per_edge;
+          ++r.res.edges_created;
+        } else {
+          cost += dc.per_pruned;
+          ++r.res.edges_pruned;
+        }
+      } else {
+        cost += dc.per_edge;
+        ++r.res.edges_created;
+        ++np;
+      }
+    }
+    // +1 discovery guard, dropped at TaskVisible (the task must not run
+    // before the producer finished creating it).
+    ts.npred = np + 1;
+    ts.discovered = true;
+    ++r.live;
+    charge_discovery(r, cost);
+    push(t + cost, EvType::TaskVisible, rank, 0, task);
+    push(t + cost, EvType::ProducerStep, rank);
+  }
+
+  void on_task_visible(int rank, std::uint32_t task, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    TaskState& ts = r.ts[task];
+    r.cores[0].busy = false;
+    if (--ts.npred == 0 && !ts.finished) make_ready(rank, task, 0, t);
+  }
+
+  void maybe_advance_iteration(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    const std::uint32_t n = static_cast<std::uint32_t>(r.g->tasks.size());
+    if (r.done || r.cursor < n || r.finished_count < n) return;
+    r.res.discovery_per_iteration.push_back(r.iter_discovery);
+    r.iter_discovery = 0;
+    if (cfg.persistent && r.iteration + 1 < cfg.iterations) {
+      // Implicit barrier passed: re-arm every task for the next iteration
+      // from the recorded full indegree. Redirect nodes are not replayed,
+      // so they carry no discovery guard; user tasks hold one until their
+      // replay (firstprivate update) completes.
+      ++r.iteration;
+      r.cursor = 0;
+      r.finished_count = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        TaskState& ts = r.ts[i];
+        const bool redirect =
+            desc(r, i).attrs.kind == SimTaskKind::Redirect;
+        ts.npred = static_cast<std::int32_t>(desc(r, i).preds.size()) +
+                   (redirect ? 0 : 1);
+        ts.finished = false;
+        ts.discovered = true;  // edges are already registered
+        ts.comm_posted = false;
+      }
+      r.live = n;
+      push(t, EvType::ProducerStep, rank);
+      return;
+    }
+    r.done = true;
+    r.end_time = t;
+  }
+
+  void check_rank_completion(int rank, double t) {
+    Rank& r = ranks[static_cast<std::size_t>(rank)];
+    const std::uint32_t n = static_cast<std::uint32_t>(r.g->tasks.size());
+    if (r.cursor >= n && r.finished_count >= n) {
+      maybe_advance_iteration(rank, t);
+    }
+  }
+
+  // ---- run -------------------------------------------------------------------
+  SimResult run() {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      Rank& r = ranks[i];
+      TDG_CHECK(r.g != nullptr, "ClusterSim: rank has no graph");
+      r.succs = r.g->successors();
+      r.ts.assign(r.g->tasks.size(), TaskState{});
+      r.cores.assign(static_cast<std::size_t>(cfg.machine.cores), Core{});
+      push(0.0, EvType::ProducerStep, static_cast<int>(i));
+    }
+    while (!queue.empty()) {
+      const Ev ev = queue.top();
+      queue.pop();
+      now = ev.t;
+      switch (ev.type) {
+        case EvType::ProducerStep:
+          on_producer_step(ev.rank, ev.t);
+          break;
+        case EvType::TaskFinish:
+          on_task_finish(ev.rank, ev.core, ev.task, ev.t);
+          break;
+        case EvType::CoreFree: {
+          Rank& r = ranks[static_cast<std::size_t>(ev.rank)];
+          r.cores[static_cast<std::size_t>(ev.core)].busy = false;
+          if (ev.core == 0) {
+            push(ev.t, EvType::ProducerStep, ev.rank);
+          } else {
+            std::uint32_t next;
+            if (obtain(r, ev.core, next)) {
+              start_execution(ev.rank, ev.core, next, ev.t);
+            }
+          }
+          break;
+        }
+        case EvType::CommComplete:
+          on_comm_complete(ev.rank, ev.task, ev.t);
+          break;
+        case EvType::TaskResolve:
+          on_task_resolve(ev.rank, ev.task, ev.t);
+          break;
+        case EvType::TaskVisible:
+          on_task_visible(ev.rank, ev.task, ev.t);
+          break;
+      }
+    }
+    SimResult result;
+    for (Rank& r : ranks) {
+      TDG_CHECK(r.done, "simulation stalled: undiscovered or unmatched "
+                        "tasks remain (check communication pairing)");
+      result.makespan = std::max(result.makespan, r.end_time);
+      double work = 0, overhead = 0;
+      for (const Core& c : r.cores) {
+        work += c.work;
+        overhead += c.overhead;
+      }
+      r.res.work = work;
+      r.res.overhead = overhead;
+      r.res.idle =
+          std::max(0.0, r.end_time * cfg.machine.cores - work - overhead);
+      result.ranks.push_back(std::move(r.res));
+    }
+    return result;
+  }
+};
+
+ClusterSim::ClusterSim(SimConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
+ClusterSim::~ClusterSim() = default;
+
+void ClusterSim::set_graph(int rank, const SimGraph* graph) {
+  impl_->ranks.at(static_cast<std::size_t>(rank)).g = graph;
+}
+
+void ClusterSim::set_all_graphs(const SimGraph* graph) {
+  for (auto& r : impl_->ranks) r.g = graph;
+}
+
+SimResult ClusterSim::run() { return impl_->run(); }
+
+}  // namespace tdg::sim

@@ -1,0 +1,125 @@
+// Deterministic discrete-event simulator of the tasking runtime + MPI
+// cluster. It replays a SimGraph per rank on virtual cores, mirroring the
+// real runtime's semantics: sequential discovery on the producer core
+// overlapped with execution, LIFO depth-first scheduling with stealing,
+// edge pruning, throttling, persistent-graph replay with its implicit
+// barrier, and eager/rendezvous/allreduce communication coupling ranks.
+//
+// Virtual durations come from the cost models in params.hpp: a cache
+// hierarchy rewarding depth-first producer->successor locality, DRAM
+// contention growing with concurrently-working cores, and per-task/
+// per-edge discovery costs. This is what lets the repository regenerate
+// the paper's figures on arbitrary core counts deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/graph.hpp"
+#include "sim/params.hpp"
+
+namespace tdg::sim {
+
+struct SimConfig {
+  MachineParams machine;
+  DiscoveryCosts discovery;
+  NetworkParams network;
+  SimPolicy policy = SimPolicy::DepthFirstLifo;
+  SimThrottle throttle;
+  /// Persistent mode: the graph describes ONE iteration, replayed
+  /// `iterations` times with the implicit end-of-iteration barrier.
+  /// Non-persistent mode: the graph already contains all iterations.
+  bool persistent = false;
+  int iterations = 1;
+  int nranks = 1;
+  /// Representative-rank mode: simulate one rank; peers are virtual and
+  /// post messages/collectives with NetworkParams::peer_skew. Used for the
+  /// 8..4096-process scaling study (Table 3).
+  bool representative = false;
+  /// Table 1's "Non overlapped" configuration: execution is blocked until
+  /// the TDG has been fully discovered, giving the scheduler in-depth
+  /// knowledge of all dependencies before any decision.
+  bool non_overlapped = false;
+  /// Scheduling cost charged per executed task (overhead bucket).
+  double sched_cost = 0.2e-6;
+  bool trace = false;  ///< collect per-task records (Gantt, Fig. 8)
+  int trace_rank = -1;  ///< -1 = trace all ranks, else only this rank
+};
+
+/// One executed (virtual) task instance.
+struct SimTraceRecord {
+  std::uint32_t task = 0;
+  int core = 0;
+  double start = 0;
+  double end = 0;
+  std::uint32_t iteration = 0;
+  const char* label = "";
+};
+
+/// Hardware-counter-style cache statistics (Fig. 2 (e,f) substitutes).
+struct CacheStats {
+  std::uint64_t l1_misses = 0;  ///< lines missing L1 (hit L2 or beyond)
+  std::uint64_t l2_misses = 0;  ///< lines missing L2 (hit L3 or DRAM)
+  std::uint64_t l3_misses = 0;  ///< lines from DRAM
+  double stall_seconds = 0;     ///< memory stall time inside task work
+};
+
+/// Communication metrics per the paper's Section 4.1 methodology.
+struct CommMetrics {
+  double total_comm_seconds = 0;  ///< sum of c(r) over send+collective reqs
+  double p2p_seconds = 0;
+  double collective_seconds = 0;
+  double overlapped_work = 0;     ///< sum of ov(r): work during c(r) windows
+  std::uint64_t requests = 0;
+  /// r_overlap = W / (n_threads * C), Section 4.1.
+  double overlap_ratio(int nthreads) const {
+    const double denom = nthreads * total_comm_seconds;
+    return denom > 0 ? overlapped_work / denom : 0.0;
+  }
+};
+
+struct RankResult {
+  double work = 0;       ///< cumulated seconds over cores
+  double overhead = 0;   ///< scheduling + discovery costs
+  double idle = 0;       ///< makespan * cores - work - overhead
+  double discovery_seconds = 0;  ///< producer time spent discovering
+  std::vector<double> discovery_per_iteration;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t edges_created = 0;
+  std::uint64_t edges_pruned = 0;
+  CacheStats cache;
+  CommMetrics comm;
+  std::vector<SimTraceRecord> trace;
+
+  double avg_work(int cores) const { return work / cores; }
+  double avg_idle(int cores) const { return idle / cores; }
+  double avg_overhead(int cores) const { return overhead / cores; }
+};
+
+struct SimResult {
+  double makespan = 0;  ///< virtual seconds, global
+  std::vector<RankResult> ranks;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimConfig cfg);
+  ~ClusterSim();
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Assign the TDG of one rank. The graph must outlive run(). In
+  /// representative mode only rank 0 is simulated.
+  void set_graph(int rank, const SimGraph* graph);
+  /// Convenience: same graph on every rank (SPMD).
+  void set_all_graphs(const SimGraph* graph);
+
+  SimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tdg::sim

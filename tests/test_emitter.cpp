@@ -1,0 +1,200 @@
+// Emitter parity: the SAME application graph generator must produce the
+// SAME dependency structure through the real runtime (RuntimeEmitter) and
+// through the simulator builder (SimEmitter) — this is the guarantee that
+// the benchmark harnesses study the graphs the real library would run.
+#include <gtest/gtest.h>
+
+#include "apps/common/emitter.hpp"
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/tdg.hpp"
+
+namespace {
+
+using tdg::Runtime;
+using tdg::apps::RuntimeEmitter;
+using tdg::apps::SimEmitter;
+
+struct ParityParams {
+  bool minimized;  // optimization (a)
+  bool dedup;      // (b)
+  bool redirect;   // (c)
+};
+
+class LuleshEmitterParity : public ::testing::TestWithParam<ParityParams> {};
+
+TEST_P(LuleshEmitterParity, SameStructureBothBackends) {
+  const auto p = GetParam();
+  namespace lulesh = tdg::apps::lulesh;
+  lulesh::Config cfg;
+  cfg.npoints = 2048;
+  cfg.iterations = 3;
+  cfg.tpl = 16;
+  cfg.minimized_deps = p.minimized;
+
+  // Simulator side.
+  SimEmitter sem({.builder = {.dedup_edges = p.dedup,
+                              .inoutset_redirect = p.redirect},
+                  .persistent = false});
+  {
+    lulesh::Mesh mesh(cfg.npoints);
+    for (int it = 0; it < cfg.iterations; ++it) {
+      sem.begin_iteration(static_cast<std::uint32_t>(it));
+      emit_iteration(sem, mesh, cfg, static_cast<std::uint32_t>(it),
+                     nullptr);
+      sem.end_iteration();
+    }
+  }
+  auto g = sem.take();
+
+  // Real runtime side: single-threaded with no execution until taskwait,
+  // so no pruning interferes with the comparison.
+  Runtime::Config rc;
+  rc.num_threads = 1;
+  rc.discovery.dedup_edges = p.dedup;
+  rc.discovery.inoutset_redirect = p.redirect;
+  Runtime rt(rc);
+  {
+    RuntimeEmitter rem(rt, {.persistent = false});
+    lulesh::Mesh mesh(cfg.npoints);
+    for (int it = 0; it < cfg.iterations; ++it) {
+      rem.begin_iteration(static_cast<std::uint32_t>(it));
+      emit_iteration(rem, mesh, cfg, static_cast<std::uint32_t>(it),
+                     nullptr);
+      rem.end_iteration();
+    }
+    rt.taskwait();  // bodies reference `mesh`: drain before it dies
+  }
+  const auto s = rt.stats();
+  EXPECT_EQ(s.discovery.edges_pruned, 0u) << "precondition: no pruning";
+  EXPECT_EQ(g.tasks.size(),
+            static_cast<std::size_t>(s.tasks_created + s.internal_nodes));
+  EXPECT_EQ(g.structural_edges(), s.discovery.edges_created);
+  EXPECT_EQ(g.duplicate_edges_skipped, s.discovery.edges_duplicate);
+  EXPECT_EQ(g.redirect_nodes, s.discovery.redirect_nodes);
+  rt.taskwait();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, LuleshEmitterParity,
+    ::testing::Values(ParityParams{true, true, true},
+                      ParityParams{false, true, true},
+                      ParityParams{true, false, true},
+                      ParityParams{true, true, false},
+                      ParityParams{false, false, false}));
+
+TEST(EmitterParity, HpcgGraphsMatch) {
+  namespace hpcg = tdg::apps::hpcg;
+  hpcg::Config cfg;
+  cfg.nx = 6;
+  cfg.ny = 6;
+  cfg.nz_global = 6;
+  cfg.cg_iterations = 4;
+  cfg.tpl = 6;
+  cfg.nspmv = 3;
+  hpcg::Problem prob = hpcg::build_problem(cfg);
+
+  SimEmitter sem({.builder = {}, .persistent = false});
+  {
+    hpcg::CgState st(prob, cfg.tpl);
+    emit_init(sem, prob, st, cfg, nullptr);
+    for (int it = 0; it < cfg.cg_iterations; ++it) {
+      sem.begin_iteration(static_cast<std::uint32_t>(it));
+      emit_iteration(sem, prob, st, cfg, static_cast<std::uint32_t>(it),
+                     nullptr);
+      sem.end_iteration();
+    }
+  }
+  auto g = sem.take();
+
+  Runtime rt({.num_threads = 1});
+  {
+    RuntimeEmitter rem(rt, {.persistent = false});
+    hpcg::CgState st(prob, cfg.tpl);
+    emit_init(rem, prob, st, cfg, nullptr);
+    for (int it = 0; it < cfg.cg_iterations; ++it) {
+      rem.begin_iteration(static_cast<std::uint32_t>(it));
+      emit_iteration(rem, prob, st, cfg, static_cast<std::uint32_t>(it),
+                     nullptr);
+      rem.end_iteration();
+    }
+    rt.taskwait();  // bodies reference `st`: drain before it dies
+  }
+  const auto s = rt.stats();
+  EXPECT_EQ(g.tasks.size(),
+            static_cast<std::size_t>(s.tasks_created + s.internal_nodes));
+  EXPECT_EQ(g.structural_edges(),
+            s.discovery.edges_created + s.discovery.edges_pruned);
+  rt.taskwait();
+}
+
+TEST(Emitter, SimEmitterPersistentCapturesOnlyFirstIteration) {
+  namespace lulesh = tdg::apps::lulesh;
+  lulesh::Config cfg;
+  cfg.npoints = 512;
+  cfg.iterations = 5;
+  cfg.tpl = 4;
+  SimEmitter em({.builder = {}, .persistent = true});
+  lulesh::Mesh mesh(cfg.npoints);
+  int emitted_iterations = 0;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, mesh, cfg, static_cast<std::uint32_t>(it), nullptr);
+      ++emitted_iterations;
+    }
+    em.end_iteration();
+  }
+  EXPECT_EQ(emitted_iterations, 1);
+  auto g = em.take();
+  // One iteration's tasks only: 10 loops x tpl + dt + 2 ghosts(+redirects).
+  EXPECT_GE(g.tasks.size(), 10u * 4 + 3);
+  EXPECT_LT(g.tasks.size(), 2u * (10u * 4 + 3));
+}
+
+TEST(Emitter, TaskwaitAroundCommExecutesCorrectly) {
+  // The Section 4.1 ablation path on the real runtime: taskwait brackets
+  // must not deadlock or change results.
+  namespace lulesh = tdg::apps::lulesh;
+  constexpr std::int64_t kPerRank = 128;
+  constexpr int kRanks = 2;
+  lulesh::Config cfg;
+  cfg.npoints = kPerRank;
+  cfg.iterations = 4;
+  cfg.tpl = 4;
+  cfg.distributed = true;
+
+  lulesh::Mesh ref(kPerRank * kRanks);
+  lulesh::Config rcfg = cfg;
+  rcfg.npoints = kPerRank * kRanks;
+  rcfg.distributed = false;
+  run_reference(ref, rcfg);
+
+  std::vector<int> bad(kRanks, 0);
+  tdg::mpi::Universe::run(kRanks, [&](tdg::mpi::Comm& comm) {
+    Runtime rt({.num_threads = 2});
+    tdg::mpi::RequestPoller poller(rt);
+    lulesh::Mesh m(kPerRank);
+    const std::int64_t offset = kPerRank * comm.rank();
+    m.init_partition(kPerRank * kRanks, offset);
+    lulesh::Halo halo;
+    halo.left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+    halo.right = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+    RuntimeEmitter em(rt, comm, poller,
+                      {.persistent = false, .taskwait_around_comm = true});
+    for (int it = 0; it < cfg.iterations; ++it) {
+      em.begin_iteration(static_cast<std::uint32_t>(it));
+      emit_iteration(em, m, cfg, static_cast<std::uint32_t>(it), &halo);
+      em.end_iteration();
+    }
+    rt.taskwait();
+    for (std::int64_t i = 1; i <= kPerRank; ++i) {
+      if (m.x[static_cast<std::size_t>(i)] !=
+          ref.x[static_cast<std::size_t>(offset + i)]) {
+        ++bad[static_cast<std::size_t>(comm.rank())];
+      }
+    }
+  });
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(bad[static_cast<std::size_t>(r)], 0);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// MPI + tasking interoperability: communications nested inside dependent
+// tasks, completed through detach events by the scheduling-point poller —
+// the composition pattern of Listing 1 in the paper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/tdg.hpp"
+#include "mpi/interop.hpp"
+#include "mpi/mpi.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::Event;
+using tdg::PersistentRegion;
+using tdg::Runtime;
+using tdg::TaskOpts;
+using tdg::mpi::Comm;
+using tdg::mpi::Op;
+using tdg::mpi::RequestPoller;
+using tdg::mpi::Universe;
+
+TEST(Interop, SendRecvInsideDetachedTasks) {
+  // Each rank runs its own tasking runtime; halo-style exchange done by
+  // tasks: pack -> isend(detach), irecv(detach) -> unpack.
+  Universe::run(2, [](Comm& comm) {
+    Runtime rt({.num_threads = 2});
+    RequestPoller poller(rt);
+    const int peer = 1 - comm.rank();
+
+    std::vector<double> interior(128, comm.rank() + 1.0);
+    std::vector<double> sbuf(128), rbuf(128, -1.0);
+    std::vector<double> result(128, 0.0);
+
+    // Pack depends on the interior, produces sbuf.
+    rt.submit(
+        [&] {
+          for (std::size_t i = 0; i < sbuf.size(); ++i) sbuf[i] = interior[i];
+        },
+        {Depend::in(interior.data()), Depend::out(sbuf.data())});
+
+    // Send task: detached, completes when the wire transfer does.
+    Event* sev = rt.create_event();
+    rt.submit(
+        [&, sev] {
+          poller.complete_on_event(
+              comm.isend(sbuf.data(), sbuf.size() * sizeof(double), peer, 0),
+              sev);
+        },
+        {Depend::in(sbuf.data())}, {.detach = sev});
+
+    // Receive task: detached on the incoming message.
+    Event* rev = rt.create_event();
+    rt.submit(
+        [&, rev] {
+          poller.complete_on_event(
+              comm.irecv(rbuf.data(), rbuf.size() * sizeof(double), peer, 0),
+              rev);
+        },
+        {Depend::out(rbuf.data())}, {.detach = rev});
+
+    // Unpack strictly after the receive completed.
+    rt.submit(
+        [&] {
+          for (std::size_t i = 0; i < rbuf.size(); ++i) result[i] = rbuf[i];
+        },
+        {Depend::in(rbuf.data()), Depend::out(result.data())});
+
+    rt.taskwait();
+    for (double v : result) ASSERT_EQ(v, peer + 1.0);
+    EXPECT_EQ(poller.pending(), 0u);
+    const auto spans = poller.completed_spans();
+    EXPECT_EQ(spans.size(), 2u);
+  });
+}
+
+TEST(Interop, AllreduceInsideTaskGatesNextIteration) {
+  // Listing 1's dt pattern: a task computes a local dt and allreduces it;
+  // every consumer of dt waits on the collective's detach event.
+  Universe::run(3, [](Comm& comm) {
+    Runtime rt({.num_threads = 2});
+    RequestPoller poller(rt);
+    double dt = 0.0;
+    double local = 10.0 + comm.rank();
+    std::atomic<int> consumers{0};
+
+    Event* ev = rt.create_event();
+    rt.submit(
+        [&, ev] {
+          poller.complete_on_event(comm.iallreduce(&local, &dt, 1, Op::Min),
+                                   ev, /*collective=*/true);
+        },
+        {Depend::out(&dt)}, {.detach = ev});
+    for (int i = 0; i < 4; ++i) {
+      rt.submit(
+          [&] {
+            EXPECT_EQ(dt, 10.0);
+            ++consumers;
+          },
+          {Depend::in(&dt)});
+    }
+    rt.taskwait();
+    EXPECT_EQ(consumers.load(), 4);
+  });
+}
+
+TEST(Interop, PersistentRegionWithCommunications) {
+  // Iterative halo exchange under a persistent graph: the communication
+  // tasks are replayed, re-posting requests each iteration with fresh
+  // detach fulfilment.
+  constexpr int kIters = 5;
+  Universe::run(2, [](Comm& comm) {
+    Runtime rt({.num_threads = 2});
+    RequestPoller poller(rt);
+    const int peer = 1 - comm.rank();
+    double value = comm.rank();  // grows by peer exchange every iteration
+    double sbuf = 0, rbuf = 0;
+
+    PersistentRegion region(rt);
+    Event* sev = rt.create_event();
+    Event* rev = rt.create_event();
+    for (int it = 0; it < kIters; ++it) {
+      region.begin_iteration();
+      rt.submit([&] { sbuf = value; },
+                {Depend::in(&value), Depend::out(&sbuf)});
+      // Replayed tasks reach their own (re-armed) detach event through
+      // current_task_event(): TaskOpts of replay submissions are ignored.
+      rt.submit(
+          [&rt, &poller, &comm, &sbuf, peer, it] {
+            poller.complete_on_event(
+                comm.isend(&sbuf, sizeof sbuf, peer, it),
+                rt.current_task_event());
+          },
+          {Depend::in(&sbuf)}, {.detach = sev});
+      rt.submit(
+          [&rt, &poller, &comm, &rbuf, peer, it] {
+            poller.complete_on_event(
+                comm.irecv(&rbuf, sizeof rbuf, peer, it),
+                rt.current_task_event());
+          },
+          {Depend::out(&rbuf)}, {.detach = rev});
+      rt.submit([&] { value += rbuf; },
+                {Depend::in(&rbuf), Depend::inout(&value)});
+      region.end_iteration();
+    }
+    // Both ranks compute the same recurrence: v_{n+1} = v0 + v1 (sym.)
+    // After each iteration both values become equal, then double.
+    // it 0: v0' = 0+1 = 1, v1' = 1+0 = 1; thereafter doubling.
+    EXPECT_EQ(value, 1.0 * (1 << (kIters - 1)));
+  });
+}
+
+TEST(Interop, ManyConcurrentRequestsDrainViaPolling) {
+  Universe::run(2, [](Comm& comm) {
+    Runtime rt({.num_threads = 4});
+    RequestPoller poller(rt);
+    const int peer = 1 - comm.rank();
+    constexpr int kMsgs = 32;
+    std::vector<double> out(kMsgs), in(kMsgs, -1);
+    std::atomic<int> unpacked{0};
+    for (int i = 0; i < kMsgs; ++i) {
+      out[i] = comm.rank() * 1000 + i;
+      Event* sev = rt.create_event();
+      rt.submit(
+          [&, sev, i] {
+            poller.complete_on_event(
+                comm.isend(&out[i], sizeof(double), peer, i), sev);
+          },
+          {Depend::in(&out[i])}, {.detach = sev});
+      Event* rev = rt.create_event();
+      rt.submit(
+          [&, rev, i] {
+            poller.complete_on_event(
+                comm.irecv(&in[i], sizeof(double), peer, i), rev);
+          },
+          {Depend::out(&in[i])}, {.detach = rev});
+      rt.submit(
+          [&, i] {
+            EXPECT_EQ(in[i], peer * 1000 + i);
+            ++unpacked;
+          },
+          {Depend::in(&in[i])});
+    }
+    rt.taskwait();
+    EXPECT_EQ(unpacked.load(), kMsgs);
+    EXPECT_EQ(poller.pending(), 0u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Profiler: the Section 2.3.1 methodology — work/overhead/idle breakdown,
+// task traces, Gantt export.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "core/tdg.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::Runtime;
+
+void busy_wait_us(int us) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::microseconds(us)) {
+  }
+}
+
+TEST(Profiler, WorkTimeAccountedForBusyTasks) {
+  Runtime rt({.num_threads = 2});
+  constexpr int kTasks = 20;
+  constexpr int kUsPerTask = 500;
+  for (int i = 0; i < kTasks; ++i) {
+    rt.submit([] { busy_wait_us(kUsPerTask); }, {});
+  }
+  rt.taskwait();
+  const auto b = rt.profiler().breakdown();
+  const double expected = kTasks * kUsPerTask * 1e-6;
+  EXPECT_GE(b.work, 0.9 * expected);
+  EXPECT_LT(b.work, 5.0 * expected);  // loose upper bound (1-core machine)
+  ASSERT_EQ(b.per_thread.size(), 2u);
+}
+
+TEST(Profiler, IdleAccumulatesWhenNoTasksExist) {
+  Runtime rt({.num_threads = 2});
+  // Sleep (not busy-wait): on a single-core machine the worker must get
+  // scheduled to accumulate idle time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  rt.taskwait();
+  const auto b = rt.profiler().breakdown();
+  EXPECT_GT(b.idle, 0.0);
+  EXPECT_EQ(b.work, 0.0);
+}
+
+TEST(Profiler, TraceRecordsCompleteAndConsistent) {
+  Runtime rt({.num_threads = 2, .trace = true});
+  constexpr int kTasks = 50;
+  int chain = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    rt.submit([] { busy_wait_us(20); }, {Depend::inout(&chain)},
+              {.label = "chain"});
+  }
+  rt.taskwait();
+  const auto trace = rt.profiler().merged_trace();
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(kTasks));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& r = trace[i];
+    EXPECT_LE(r.t_create, r.t_end);
+    EXPECT_LE(r.t_start, r.t_end);
+    EXPECT_LT(r.thread, 2u);
+    EXPECT_STREQ(r.label, "chain");
+    if (i > 0) {
+      EXPECT_GE(r.t_start, trace[i - 1].t_start) << "trace must be sorted";
+      // The chain serializes execution: no two bodies overlap.
+      EXPECT_GE(r.t_start, trace[i - 1].t_end);
+    }
+  }
+}
+
+TEST(Profiler, TraceDisabledRecordsNothing) {
+  Runtime rt({.num_threads = 2, .trace = false});
+  for (int i = 0; i < 10; ++i) rt.submit([] {}, {});
+  rt.taskwait();
+  EXPECT_TRUE(rt.profiler().merged_trace().empty());
+}
+
+TEST(Profiler, GanttExportIsParseable) {
+  Runtime rt({.num_threads = 2, .trace = true});
+  int x = 0;
+  rt.submit([] { busy_wait_us(50); }, {Depend::out(&x)}, {.label = "a"});
+  rt.submit([] { busy_wait_us(50); }, {Depend::in(&x)}, {.label = "b"});
+  rt.taskwait();
+  std::ostringstream os;
+  rt.profiler().write_gantt(os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "thread\tstart_s\tend_s\titeration\tlabel");
+  int rows = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    unsigned thread, iteration;
+    double start, end;
+    char label[32];
+    ASSERT_EQ(std::sscanf(line.c_str(), "%u\t%lf\t%lf\t%u\t%31s", &thread,
+                          &start, &end, &iteration, label),
+              5)
+        << "bad gantt row: " << line;
+    EXPECT_LE(start, end);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(Profiler, ResetClearsAccumulatorsAndTrace) {
+  Runtime rt({.num_threads = 2, .trace = true});
+  for (int i = 0; i < 10; ++i) rt.submit([] { busy_wait_us(50); }, {});
+  rt.taskwait();
+  rt.profiler().reset();
+  const auto b = rt.profiler().breakdown();
+  EXPECT_EQ(b.work, 0.0);
+  EXPECT_TRUE(rt.profiler().merged_trace().empty());
+}
+
+TEST(Profiler, BreakdownAveragesMatchTotals) {
+  Runtime rt({.num_threads = 4});
+  for (int i = 0; i < 40; ++i) rt.submit([] { busy_wait_us(100); }, {});
+  rt.taskwait();
+  const auto b = rt.profiler().breakdown();
+  EXPECT_NEAR(b.avg_work * 4.0, b.work, 1e-9);
+  EXPECT_NEAR(b.avg_idle * 4.0, b.idle, 1e-9);
+  EXPECT_NEAR(b.avg_overhead * 4.0, b.overhead, 1e-9);
+}
+
+TEST(Profiler, DiscoverySpanCoversSubmissionWindow) {
+  Runtime rt({.num_threads = 2});
+  const double t0 = tdg::now_seconds();
+  int x = 0;
+  for (int i = 0; i < 100; ++i) {
+    rt.submit([] {}, {Depend::inout(&x)});
+  }
+  rt.taskwait();
+  const double span = rt.stats().discovery_seconds();
+  const double elapsed = tdg::now_seconds() - t0;
+  EXPECT_GT(span, 0.0);
+  EXPECT_LE(span, elapsed + 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,351 @@
+// Runtime execution engine: scheduling policies, work stealing, taskloop,
+// taskwait, detach events, throttling and counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "core/tdg.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::Event;
+using tdg::Runtime;
+using tdg::SchedulePolicy;
+using tdg::TaskOpts;
+
+TEST(Runtime, RunsASingleTask) {
+  Runtime rt({.num_threads = 2});
+  std::atomic<int> hits{0};
+  rt.submit([&] { ++hits; }, {});
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(Runtime, ManyIndependentTasksAllRun) {
+  Runtime rt({.num_threads = 4});
+  constexpr int kTasks = 2000;
+  std::atomic<long> sum{0};
+  for (int i = 0; i < kTasks; ++i) {
+    rt.submit([&sum, i] { sum += i; }, {});
+  }
+  rt.taskwait();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+  EXPECT_EQ(rt.stats().tasks_executed, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Runtime, DependencyChainExecutesInOrder) {
+  Runtime rt({.num_threads = 4});
+  constexpr int kLen = 1000;
+  int value = 0;  // unsynchronized on purpose: the chain serializes access
+  for (int i = 0; i < kLen; ++i) {
+    rt.submit([&value, i] {
+      EXPECT_EQ(value, i);
+      value = i + 1;
+    }, {Depend::inout(&value)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(value, kLen);
+}
+
+TEST(Runtime, DiamondDependencies) {
+  Runtime rt({.num_threads = 4});
+  int a = 0;
+  std::atomic<int> mids{0};
+  int b = 0, c = 0, d = 0;
+  rt.submit([&] { a = 1; }, {Depend::out(&a)});
+  rt.submit([&] { b = a + 1; ++mids; }, {Depend::in(&a), Depend::out(&b)});
+  rt.submit([&] { c = a + 2; ++mids; }, {Depend::in(&a), Depend::out(&c)});
+  rt.submit([&] {
+    EXPECT_EQ(mids.load(), 2);
+    d = b + c;
+  }, {Depend::in(&b), Depend::in(&c), Depend::out(&d)});
+  rt.taskwait();
+  EXPECT_EQ(d, 5);
+}
+
+TEST(Runtime, TaskwaitIsReentrant) {
+  Runtime rt({.num_threads = 2});
+  int x = 0;
+  rt.submit([&] { x = 1; }, {Depend::out(&x)});
+  rt.taskwait();
+  rt.submit([&] { x = 2; }, {Depend::inout(&x)});
+  rt.taskwait();
+  EXPECT_EQ(x, 2);
+  rt.taskwait();  // no pending work: returns immediately
+}
+
+// --- policies ----------------------------------------------------------------
+
+TEST(Runtime, LifoPolicyRunsNewestFirstOnSingleThread) {
+  Runtime rt({.num_threads = 1, .policy = SchedulePolicy::DepthFirstLifo});
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    rt.submit([&order, i] { order.push_back(i); }, {});
+  }
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Runtime, FifoPolicyRunsOldestFirstOnSingleThread) {
+  Runtime rt({.num_threads = 1, .policy = SchedulePolicy::BreadthFirstFifo});
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    rt.submit([&order, i] { order.push_back(i); }, {});
+  }
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Runtime, DepthFirstRunsSuccessorBeforeSiblingRoots) {
+  // A's successor B should run immediately after A (cache-reuse heuristic),
+  // before the older independent root R that sits deeper in the deque.
+  Runtime rt({.num_threads = 1, .policy = SchedulePolicy::DepthFirstLifo});
+  std::vector<int> order;
+  int a = 0;
+  rt.submit([&] { order.push_back(100); }, {});  // root R (oldest)
+  rt.submit([&] { order.push_back(0); }, {Depend::out(&a)});   // A
+  rt.submit([&] { order.push_back(1); }, {Depend::in(&a)});    // B = succ(A)
+  rt.taskwait();
+  // LIFO: A runs first (newest among ready after B blocked), then B jumps
+  // the queue ahead of R.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 100);
+}
+
+// --- taskloop ------------------------------------------------------------------
+
+TEST(Runtime, TaskloopCoversRangeExactlyOnce) {
+  Runtime rt({.num_threads = 4});
+  constexpr std::int64_t kN = 10007;  // prime: uneven chunks
+  std::vector<std::atomic<int>> touched(kN);
+  rt.taskloop(
+      0, kN, 64,
+      [](int, std::int64_t, std::int64_t, tdg::DependList&) {},
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) touched[i]++;
+      });
+  rt.taskwait();
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(rt.stats().tasks_created, 64u);
+}
+
+TEST(Runtime, TaskloopClampsChunksToIterations) {
+  Runtime rt({.num_threads = 2});
+  std::atomic<int> runs{0};
+  rt.taskloop(
+      0, 3, 100,
+      [](int, std::int64_t, std::int64_t, tdg::DependList&) {},
+      [&](std::int64_t, std::int64_t) { ++runs; });
+  rt.taskwait();
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_EQ(rt.stats().tasks_created, 3u);
+}
+
+TEST(Runtime, TaskloopEmptyRangeSubmitsNothing) {
+  Runtime rt({.num_threads = 1});
+  rt.taskloop(
+      5, 5, 8, [](int, std::int64_t, std::int64_t, tdg::DependList&) {},
+      [&](std::int64_t, std::int64_t) { FAIL(); });
+  rt.taskwait();
+  EXPECT_EQ(rt.stats().tasks_created, 0u);
+}
+
+TEST(Runtime, DependentTaskloopsPipelinePerChunk) {
+  // Two taskloops over the same blocked array: chunk i of loop 2 depends
+  // only on chunk i of loop 1 (the paper's per-block dependences).
+  Runtime rt({.num_threads = 4});
+  constexpr int kBlocks = 16;
+  constexpr std::int64_t kN = 1 << 12;
+  std::vector<double> v(kN, 0.0);
+  auto block_of = [&](std::int64_t lo) {
+    return &v[static_cast<std::size_t>(lo)];
+  };
+  rt.taskloop(
+      0, kN, kBlocks,
+      [&](int, std::int64_t lo, std::int64_t, tdg::DependList& d) {
+        d.push_back(Depend::out(block_of(lo)));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) v[i] = 1.0;
+      });
+  rt.taskloop(
+      0, kN, kBlocks,
+      [&](int, std::int64_t lo, std::int64_t, tdg::DependList& d) {
+        d.push_back(Depend::inout(block_of(lo)));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) v[i] += 1.0;
+      });
+  rt.taskwait();
+  EXPECT_EQ(rt.stats().discovery.edges_created,
+            static_cast<std::uint64_t>(kBlocks));
+  for (double x : v) ASSERT_EQ(x, 2.0);
+}
+
+// --- detach events -----------------------------------------------------------
+
+TEST(Runtime, DetachedTaskCompletesOnlyAfterFulfill) {
+  Runtime rt({.num_threads = 2});
+  Event* ev = rt.create_event();
+  std::atomic<bool> body_done{false};
+  std::atomic<bool> succ_ran{false};
+  int x = 0;
+  TaskOpts opts;
+  opts.detach = ev;
+  rt.submit([&] { body_done = true; }, {Depend::out(&x)}, opts);
+  rt.submit([&] { succ_ran = true; }, {Depend::in(&x)});
+  // Fulfill from the polling hook, but only after the body has returned:
+  // models an MPI request completing during scheduling points.
+  std::atomic<bool> fulfilled_once{false};
+  rt.set_polling_hook([&] {
+    if (body_done.load() && !fulfilled_once.exchange(true)) {
+      EXPECT_FALSE(succ_ran.load())
+          << "successor ran before the detach event was fulfilled";
+      ev->fulfill();
+    }
+  });
+  rt.taskwait();
+  EXPECT_TRUE(body_done.load());
+  EXPECT_TRUE(succ_ran.load());
+}
+
+TEST(Runtime, FulfillIsIdempotent) {
+  Runtime rt({.num_threads = 2});
+  Event* ev = rt.create_event();
+  TaskOpts opts;
+  opts.detach = ev;
+  std::atomic<bool> done{false};
+  rt.submit([&] { done = true; }, {}, opts);
+  rt.set_polling_hook([&] {
+    if (done.load()) {
+      ev->fulfill();
+      ev->fulfill();
+    }
+  });
+  rt.taskwait();
+  EXPECT_EQ(rt.stats().tasks_executed, 1u);
+}
+
+// --- throttling ----------------------------------------------------------------
+
+TEST(Runtime, TotalThrottleBoundsLiveTasks) {
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  cfg.throttle.max_total = 8;
+  Runtime rt(cfg);
+  std::size_t max_live = 0;
+  for (int i = 0; i < 200; ++i) {
+    rt.submit([] {}, {});
+    max_live = std::max(max_live, rt.live_tasks());
+  }
+  rt.taskwait();
+  // submit may momentarily hold max_total + 1 (the task being created).
+  EXPECT_LE(max_live, 9u);
+  EXPECT_EQ(rt.stats().tasks_executed, 200u);
+}
+
+TEST(Runtime, ReadyThrottleMakesProducerHelp) {
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  cfg.throttle.max_ready = 0;  // execute every task as soon as submitted
+  Runtime rt(cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    rt.submit([&order, i] { order.push_back(i); }, {});
+  }
+  EXPECT_EQ(order.size(), 8u);  // all done before taskwait
+  rt.taskwait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// --- counters / stress ------------------------------------------------------------
+
+TEST(Runtime, CountersReturnToZero) {
+  Runtime rt({.num_threads = 4});
+  for (int i = 0; i < 500; ++i) rt.submit([] {}, {});
+  rt.taskwait();
+  EXPECT_EQ(rt.live_tasks(), 0u);
+  EXPECT_EQ(rt.ready_tasks(), 0u);
+}
+
+TEST(Runtime, ResetStatsClearsCounters) {
+  Runtime rt({.num_threads = 1});
+  int x = 0;
+  rt.submit([&] { x = 1; }, {Depend::out(&x)});
+  rt.submit([&] { x = 2; }, {Depend::inout(&x)});
+  rt.taskwait();
+  rt.reset_stats();
+  auto s = rt.stats();
+  EXPECT_EQ(s.tasks_created, 0u);
+  EXPECT_EQ(s.tasks_executed, 0u);
+  EXPECT_EQ(s.discovery.edges_created, 0u);
+  EXPECT_EQ(s.discovery_seconds(), 0.0);
+}
+
+struct StressParams {
+  unsigned threads;
+  SchedulePolicy policy;
+};
+
+class RuntimeStress : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(RuntimeStress, RandomLayeredGraphRespectsAllEdges) {
+  // Layered DAG: each layer's tasks read a pseudo-random subset of the
+  // previous layer's outputs. Each task checks its inputs were produced.
+  const auto p = GetParam();
+  Runtime rt({.num_threads = p.threads, .policy = p.policy});
+  constexpr int kLayers = 20;
+  constexpr int kWidth = 25;
+  std::vector<std::vector<int>> data(kLayers, std::vector<int>(kWidth, -1));
+  std::uint64_t seed = 12345;
+  auto rnd = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((seed >> 33) % kWidth);
+  };
+  for (int w = 0; w < kWidth; ++w) {
+    rt.submit([&data, w] { data[0][w] = w; }, {Depend::out(&data[0][w])});
+  }
+  for (int l = 1; l < kLayers; ++l) {
+    for (int w = 0; w < kWidth; ++w) {
+      tdg::DependList deps;
+      std::vector<int> inputs;
+      for (int k = 0; k < 3; ++k) inputs.push_back(rnd());
+      for (int in : inputs) deps.push_back(Depend::in(&data[l - 1][in]));
+      deps.push_back(Depend::out(&data[l][w]));
+      rt.submit(
+          [&data, l, w, inputs] {
+            int acc = 0;
+            for (int in : inputs) {
+              EXPECT_NE(data[l - 1][in], -1)
+                  << "layer " << l << " ran before its input";
+              acc += data[l - 1][in];
+            }
+            data[l][w] = acc % 1000;
+          },
+          std::span<const Depend>(deps.data(), deps.size()));
+    }
+  }
+  rt.taskwait();
+  for (int w = 0; w < kWidth; ++w) EXPECT_NE(data[kLayers - 1][w], -1);
+  EXPECT_EQ(rt.stats().tasks_executed,
+            static_cast<std::uint64_t>(kLayers) * kWidth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndPolicies, RuntimeStress,
+    ::testing::Values(StressParams{1, SchedulePolicy::DepthFirstLifo},
+                      StressParams{2, SchedulePolicy::DepthFirstLifo},
+                      StressParams{4, SchedulePolicy::DepthFirstLifo},
+                      StressParams{8, SchedulePolicy::DepthFirstLifo},
+                      StressParams{2, SchedulePolicy::BreadthFirstFifo},
+                      StressParams{4, SchedulePolicy::BreadthFirstFifo}));
+
+}  // namespace

@@ -1,0 +1,183 @@
+// SimGraphBuilder: dependency semantics on abstract addresses, and parity
+// with the real runtime's DependencyMap on randomized clause sequences.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tdg.hpp"
+#include "sim/graph.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::DependType;
+using tdg::Runtime;
+using tdg::sim::SimDep;
+using tdg::sim::SimGraph;
+using tdg::sim::SimGraphBuilder;
+using tdg::sim::SimTaskAttrs;
+using tdg::sim::SimTaskKind;
+
+TEST(SimGraph, ChainHasLinearEdges) {
+  SimGraphBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    b.task(SimTaskAttrs{}, {SimDep::inout(1)});
+  }
+  SimGraph g = b.take();
+  EXPECT_EQ(g.tasks.size(), 10u);
+  EXPECT_EQ(g.structural_edges(), 9u);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    ASSERT_EQ(g.tasks[i].preds.size(), 1u);
+    EXPECT_EQ(g.tasks[i].preds[0], i - 1);
+  }
+}
+
+TEST(SimGraph, SuccessorsInvertPreds) {
+  SimGraphBuilder b;
+  b.task(SimTaskAttrs{}, {SimDep::out(1)});
+  b.task(SimTaskAttrs{}, {SimDep::in(1)});
+  b.task(SimTaskAttrs{}, {SimDep::in(1)});
+  SimGraph g = b.take();
+  const auto succ = g.successors();
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(succ[0], (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_TRUE(succ[1].empty());
+  EXPECT_TRUE(succ[2].empty());
+}
+
+TEST(SimGraph, DedupSkipsRepeatedPairs) {
+  SimGraphBuilder with({.dedup_edges = true});
+  with.task(SimTaskAttrs{}, {SimDep::out(1), SimDep::out(2)});
+  with.task(SimTaskAttrs{}, {SimDep::in(1), SimDep::in(2)});
+  SimGraph g1 = with.take();
+  EXPECT_EQ(g1.structural_edges(), 1u);
+  EXPECT_EQ(g1.duplicate_edges_skipped, 1u);
+
+  SimGraphBuilder without({.dedup_edges = false});
+  without.task(SimTaskAttrs{}, {SimDep::out(1), SimDep::out(2)});
+  without.task(SimTaskAttrs{}, {SimDep::in(1), SimDep::in(2)});
+  SimGraph g2 = without.take();
+  EXPECT_EQ(g2.structural_edges(), 2u);
+}
+
+TEST(SimGraph, InOutSetRedirectReducesEdges) {
+  constexpr int kM = 8, kN = 8;
+  for (bool redirect : {true, false}) {
+    SimGraphBuilder b({.dedup_edges = true, .inoutset_redirect = redirect});
+    for (int i = 0; i < kM; ++i) b.task(SimTaskAttrs{}, {SimDep::inoutset(7)});
+    for (int j = 0; j < kN; ++j) b.task(SimTaskAttrs{}, {SimDep::in(7)});
+    SimGraph g = b.take();
+    if (redirect) {
+      EXPECT_EQ(g.structural_edges(), static_cast<std::uint64_t>(kM + kN));
+      EXPECT_EQ(g.redirect_nodes, 1u);
+      EXPECT_EQ(g.tasks.size(), static_cast<std::size_t>(kM + kN + 1));
+      // The redirect node's kind must be marked for the simulator.
+      bool found = false;
+      for (const auto& t : g.tasks) {
+        found |= t.attrs.kind == SimTaskKind::Redirect;
+      }
+      EXPECT_TRUE(found);
+    } else {
+      EXPECT_EQ(g.structural_edges(),
+                static_cast<std::uint64_t>(kM) * kN);
+      EXPECT_EQ(g.redirect_nodes, 0u);
+    }
+  }
+}
+
+TEST(SimGraph, ClearScopeSeparatesPhases) {
+  SimGraphBuilder b;
+  b.task(SimTaskAttrs{}, {SimDep::out(1)});
+  b.clear_scope();
+  b.task(SimTaskAttrs{}, {SimDep::in(1)});
+  SimGraph g = b.take();
+  EXPECT_EQ(g.structural_edges(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parity with the real runtime: identical clause sequences must produce
+// identical edge/duplicate/redirect counts. This is the guarantee that the
+// simulator studies the *same* TDGs as the real runtime.
+// ---------------------------------------------------------------------------
+
+struct ParityParams {
+  bool dedup;
+  bool redirect;
+  std::uint64_t seed;
+};
+
+class GraphParity : public ::testing::TestWithParam<ParityParams> {};
+
+TEST_P(GraphParity, RandomClauseSequencesMatchRuntimeCounts) {
+  const auto p = GetParam();
+  constexpr int kTasks = 400;
+  constexpr int kAddrs = 12;
+
+  std::uint64_t s = p.seed;
+  auto rnd = [&s](int mod) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((s >> 33) % static_cast<std::uint64_t>(mod));
+  };
+
+  // Pre-generate the clause sequence so both consumers see the same one.
+  struct Clause {
+    std::vector<std::pair<int, DependType>> items;
+  };
+  std::vector<Clause> clauses(kTasks);
+  for (auto& c : clauses) {
+    const int nitems = 1 + rnd(3);
+    for (int i = 0; i < nitems; ++i) {
+      const DependType types[] = {DependType::In, DependType::Out,
+                                  DependType::InOut, DependType::InOutSet};
+      c.items.emplace_back(rnd(kAddrs), types[rnd(4)]);
+    }
+  }
+
+  // Simulator-side.
+  SimGraphBuilder builder(
+      {.dedup_edges = p.dedup, .inoutset_redirect = p.redirect});
+  for (const auto& c : clauses) {
+    std::vector<SimDep> deps;
+    for (auto [addr, type] : c.items) {
+      deps.push_back(SimDep{static_cast<std::uint64_t>(addr + 1), type});
+    }
+    builder.task(SimTaskAttrs{}, std::span<const SimDep>(deps));
+  }
+  SimGraph g = builder.take();
+
+  // Runtime-side: single-threaded, no taskwait during submission, so no
+  // task executes and no edge is pruned.
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  cfg.discovery.dedup_edges = p.dedup;
+  cfg.discovery.inoutset_redirect = p.redirect;
+  Runtime rt(cfg);
+  static double addr_pool[kAddrs];
+  for (const auto& c : clauses) {
+    std::vector<Depend> deps;
+    for (auto [addr, type] : c.items) {
+      deps.push_back(Depend{&addr_pool[addr], type});
+    }
+    rt.submit([] {}, std::span<const Depend>(deps));
+  }
+  const auto st = rt.stats();
+  EXPECT_EQ(st.discovery.edges_pruned, 0u) << "test precondition violated";
+  EXPECT_EQ(g.structural_edges(), st.discovery.edges_created);
+  EXPECT_EQ(g.duplicate_edges_skipped, st.discovery.edges_duplicate);
+  EXPECT_EQ(g.redirect_nodes, st.discovery.redirect_nodes);
+  EXPECT_EQ(g.tasks.size(),
+            static_cast<std::size_t>(st.tasks_created + st.internal_nodes));
+  rt.taskwait();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionsAndSeeds, GraphParity,
+    ::testing::Values(ParityParams{true, true, 1},
+                      ParityParams{true, false, 2},
+                      ParityParams{false, true, 3},
+                      ParityParams{false, false, 4},
+                      ParityParams{true, true, 99},
+                      ParityParams{false, false, 99}));
+
+}  // namespace

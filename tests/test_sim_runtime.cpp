@@ -1,0 +1,430 @@
+// ClusterSim: discrete-event execution of SimGraphs — scheduling, the
+// discovery/execution overlap, cache & contention model, persistence,
+// communication coupling and the Section 4.1 metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/graph.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace {
+
+using tdg::sim::ClusterSim;
+using tdg::sim::SimConfig;
+using tdg::sim::SimDep;
+using tdg::sim::SimGraph;
+using tdg::sim::SimGraphBuilder;
+using tdg::sim::SimPolicy;
+using tdg::sim::SimResult;
+using tdg::sim::SimTaskAttrs;
+using tdg::sim::SimTaskKind;
+
+SimTaskAttrs compute(double secs, std::uint64_t bytes = 0) {
+  SimTaskAttrs a;
+  a.cpu_seconds = secs;
+  a.bytes = bytes;
+  return a;
+}
+
+SimConfig base_config(int cores) {
+  SimConfig cfg;
+  cfg.machine.cores = cores;
+  return cfg;
+}
+
+TEST(SimRuntime, SerialChainMakespanIsSumOfWork) {
+  SimGraphBuilder b;
+  constexpr int kLen = 100;
+  constexpr double kGrain = 100e-6;
+  for (int i = 0; i < kLen; ++i) b.task(compute(kGrain), {SimDep::inout(1)});
+  SimGraph g = b.take();
+  ClusterSim sim(base_config(4));
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  const double work = kLen * kGrain;
+  EXPECT_GE(r.makespan, work);
+  EXPECT_LT(r.makespan, work * 1.2);  // overheads are small vs 100us grains
+  EXPECT_NEAR(r.ranks[0].work, work, work * 0.01);
+  EXPECT_EQ(r.ranks[0].tasks_executed, static_cast<std::uint64_t>(kLen));
+  EXPECT_EQ(r.ranks[0].edges_created, static_cast<std::uint64_t>(kLen - 1));
+}
+
+TEST(SimRuntime, IndependentTasksScaleWithCores) {
+  constexpr int kTasks = 400;
+  constexpr double kGrain = 200e-6;
+  auto build = [] {
+    SimGraphBuilder b;
+    for (int i = 0; i < kTasks; ++i) b.task(compute(kGrain), {});
+    return b.take();
+  };
+  SimGraph g = build();
+  double t1 = 0, t8 = 0;
+  {
+    ClusterSim sim(base_config(1));
+    sim.set_all_graphs(&g);
+    t1 = sim.run().makespan;
+  }
+  {
+    ClusterSim sim(base_config(8));
+    sim.set_all_graphs(&g);
+    t8 = sim.run().makespan;
+  }
+  const double speedup = t1 / t8;
+  EXPECT_GT(speedup, 5.0) << "t1=" << t1 << " t8=" << t8;
+  EXPECT_LE(speedup, 8.1);
+}
+
+TEST(SimRuntime, DiscoveryBoundExecutionTracksDiscoveryTime) {
+  // Tiny task grains: the single producer cannot feed the cores, so the
+  // makespan approaches the discovery time (Fig. 1's right-hand regime).
+  SimConfig cfg = base_config(16);
+  cfg.discovery.per_task = 5e-6;
+  constexpr int kTasks = 2000;
+  SimGraphBuilder b;
+  for (int i = 0; i < kTasks; ++i) b.task(compute(1e-6), {});
+  SimGraph g = b.take();
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  const double disc = r.ranks[0].discovery_seconds;
+  EXPECT_GT(disc, kTasks * 5e-6 * 0.99);
+  EXPECT_GE(r.makespan, disc * 0.95);
+  EXPECT_LT(r.makespan, disc * 1.2);
+  // Most core time is idleness: cores starve behind the producer.
+  EXPECT_GT(r.ranks[0].idle, r.ranks[0].work);
+}
+
+TEST(SimRuntime, EdgesPrunedWhenExecutionOutrunsDiscovery) {
+  // Slow discovery + instant execution: predecessors are consumed before
+  // successors are discovered, so edges are pruned (Section 2.3.3).
+  SimConfig cfg = base_config(4);
+  cfg.discovery.per_task = 10e-6;
+  SimGraphBuilder b;
+  constexpr int kLen = 50;
+  for (int i = 0; i < kLen; ++i) b.task(compute(0.1e-6), {SimDep::inout(1)});
+  SimGraph g = b.take();
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  EXPECT_EQ(r.ranks[0].edges_created + r.ranks[0].edges_pruned,
+            static_cast<std::uint64_t>(kLen - 1));
+  EXPECT_GT(r.ranks[0].edges_pruned, static_cast<std::uint64_t>(kLen / 2));
+}
+
+TEST(SimRuntime, PersistentReplayShrinksDiscovery) {
+  constexpr int kTasks = 500;
+  constexpr int kIters = 8;
+  SimGraphBuilder b;
+  for (int i = 0; i < kTasks; ++i) {
+    b.task(compute(5e-6), {SimDep::inout(static_cast<std::uint64_t>(i % 16) + 1)});
+  }
+  SimGraph g = b.take();
+  SimConfig cfg = base_config(4);
+  cfg.persistent = true;
+  cfg.iterations = kIters;
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  const auto& per_iter = r.ranks[0].discovery_per_iteration;
+  ASSERT_EQ(per_iter.size(), static_cast<std::size_t>(kIters));
+  // First iteration builds the graph; replays are ~10x cheaper (Table 2:
+  // "the first iteration is about 10 times more costly than the others").
+  for (std::size_t i = 1; i < per_iter.size(); ++i) {
+    EXPECT_LT(per_iter[i], per_iter[0] / 5.0) << "iteration " << i;
+  }
+  EXPECT_EQ(r.ranks[0].tasks_executed,
+            static_cast<std::uint64_t>(kTasks) * kIters);
+  // Persistent iteration 0 records every edge and prunes none.
+  EXPECT_EQ(r.ranks[0].edges_pruned, 0u);
+}
+
+TEST(SimRuntime, PersistentBarrierKeepsIterationsOrdered) {
+  // A two-task pipeline with 1 core; with the implicit barrier, iteration
+  // n+1's first task cannot start before iteration n's last.
+  SimGraphBuilder b;
+  b.task(compute(10e-6), {SimDep::out(1)});
+  b.task(compute(10e-6), {SimDep::in(1)});
+  SimGraph g = b.take();
+  SimConfig cfg = base_config(2);
+  cfg.persistent = true;
+  cfg.iterations = 4;
+  cfg.trace = true;
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  ASSERT_EQ(r.ranks[0].trace.size(), 8u);
+  // Group records by iteration; max end of iter i <= min start of iter i+1.
+  double max_end[4] = {0, 0, 0, 0};
+  double min_start[4] = {1e30, 1e30, 1e30, 1e30};
+  for (const auto& rec : r.ranks[0].trace) {
+    max_end[rec.iteration] = std::max(max_end[rec.iteration], rec.end);
+    min_start[rec.iteration] = std::min(min_start[rec.iteration], rec.start);
+  }
+  for (int i = 0; i + 1 < 4; ++i) {
+    EXPECT_LE(max_end[i], min_start[i + 1] + 1e-12) << "iteration " << i;
+  }
+}
+
+TEST(SimRuntime, DepthFirstBeatsBreadthFirstOnProducerConsumerPairs) {
+  // N producer->consumer pairs, each touching 512 KiB. Depth-first LIFO
+  // runs each consumer right after its producer (L2-warm); breadth-first
+  // FIFO runs all producers first, evicting everything (Fig. 2 (d-f)).
+  constexpr int kPairs = 128;
+  constexpr std::uint64_t kBytes = 512 * 1024;
+  auto build = [] {
+    SimGraphBuilder b;
+    for (int i = 0; i < kPairs; ++i) {
+      const auto addr = static_cast<std::uint64_t>(i) + 1;
+      b.task(compute(1e-6, kBytes), {SimDep::out(addr)});
+      b.task(compute(1e-6, kBytes), {SimDep::in(addr)});
+    }
+    return b.take();
+  };
+  SimGraph g = build();
+  auto run_policy = [&](SimPolicy p) {
+    SimConfig cfg = base_config(1);
+    cfg.policy = p;
+    // Discover everything before executing (pure scheduling comparison).
+    cfg.discovery.per_task = 0;
+    cfg.discovery.per_edge = 0;
+    cfg.discovery.per_dep = 0;
+    cfg.throttle.max_ready = static_cast<std::size_t>(-1);
+    ClusterSim sim(cfg);
+    sim.set_all_graphs(&g);
+    return sim.run();
+  };
+  SimResult lifo = run_policy(SimPolicy::DepthFirstLifo);
+  SimResult fifo = run_policy(SimPolicy::BreadthFirstFifo);
+  EXPECT_LT(lifo.ranks[0].work, 0.8 * fifo.ranks[0].work)
+      << "depth-first must benefit from cache reuse";
+  EXPECT_LT(lifo.ranks[0].cache.l3_misses, fifo.ranks[0].cache.l3_misses);
+}
+
+TEST(SimRuntime, DramContentionInflatesWorkWithMoreCores) {
+  // Independent DRAM-heavy tasks: per-task work inflates when many cores
+  // hammer memory together (Fig. 2 (d) "work time inflation").
+  constexpr int kTasks = 256;
+  constexpr std::uint64_t kBytes = 4 * 1024 * 1024;
+  SimGraphBuilder b;
+  for (int i = 0; i < kTasks; ++i) b.task(compute(1e-6, kBytes), {});
+  SimGraph g = b.take();
+  auto work_with_cores = [&](int cores) {
+    ClusterSim sim(base_config(cores));
+    sim.set_all_graphs(&g);
+    return sim.run().ranks[0].work;
+  };
+  const double w1 = work_with_cores(1);
+  const double w16 = work_with_cores(16);
+  EXPECT_GT(w16, 1.3 * w1);
+}
+
+TEST(SimRuntime, ThrottleForcesProducerToHelp) {
+  SimConfig cfg = base_config(2);
+  cfg.throttle.max_total = 4;
+  constexpr int kTasks = 200;
+  SimGraphBuilder b;
+  for (int i = 0; i < kTasks; ++i) b.task(compute(2e-6), {});
+  SimGraph g = b.take();
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  EXPECT_EQ(r.ranks[0].tasks_executed, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(SimRuntime, ConcurrencyNeverExceedsCoreCount) {
+  // Regression: a completing core must not be handed a second task by
+  // dispatch_idle while its finish handler picks its own successor.
+  constexpr int kCores = 8;
+  SimGraphBuilder b;
+  for (int i = 0; i < 2000; ++i) {
+    b.task(compute(5e-6, 1000),
+           {SimDep::inout(static_cast<std::uint64_t>(i % 3) + 1),
+            SimDep::in(static_cast<std::uint64_t>(i % 7) + 10)});
+  }
+  for (int i = 0; i < 500; ++i) b.task(compute(2e-6), {});
+  SimGraph g = b.take();
+  SimConfig cfg = base_config(kCores);
+  cfg.discovery = tdg::sim::DiscoveryCosts{0, 0, 0, 0, 0};
+  cfg.trace = true;
+  ClusterSim sim(cfg);
+  sim.set_all_graphs(&g);
+  SimResult r = sim.run();
+  std::vector<std::pair<double, int>> evs;
+  for (const auto& rec : r.ranks[0].trace) {
+    evs.emplace_back(rec.start, 1);
+    evs.emplace_back(rec.end, -1);
+  }
+  std::sort(evs.begin(), evs.end());
+  int cur = 0, mx = 0;
+  for (const auto& [t, d] : evs) {
+    cur += d;
+    mx = std::max(mx, cur);
+  }
+  EXPECT_LE(mx, kCores);
+}
+
+TEST(SimRuntime, DeterministicReplay) {
+  SimGraphBuilder b;
+  for (int i = 0; i < 300; ++i) {
+    b.task(compute(3e-6, 10000),
+           {SimDep::inout(static_cast<std::uint64_t>(i % 7) + 1)});
+  }
+  SimGraph g = b.take();
+  auto once = [&] {
+    ClusterSim sim(base_config(6));
+    sim.set_all_graphs(&g);
+    return sim.run();
+  };
+  SimResult a = once();
+  SimResult bres = once();
+  EXPECT_EQ(a.makespan, bres.makespan);
+  EXPECT_EQ(a.ranks[0].work, bres.ranks[0].work);
+  EXPECT_EQ(a.ranks[0].cache.l3_misses, bres.ranks[0].cache.l3_misses);
+}
+
+// --- communications ---------------------------------------------------------
+
+SimGraph exchange_graph(int peer, std::uint64_t msg_bytes, double work_grain,
+                        int work_tasks) {
+  SimGraphBuilder b;
+  // pack -> send, recv -> unpack, plus independent work for overlap.
+  SimTaskAttrs pack = compute(2e-6, 0);
+  pack.label = "pack";
+  b.task(pack, {SimDep::out(100)});
+  SimTaskAttrs send;
+  send.kind = SimTaskKind::Send;
+  send.peer = peer;
+  send.tag = 0;
+  send.msg_bytes = msg_bytes;
+  send.cpu_seconds = 0.5e-6;
+  b.task(send, {SimDep::in(100)});
+  SimTaskAttrs recv;
+  recv.kind = SimTaskKind::Recv;
+  recv.peer = peer;
+  recv.tag = 0;
+  recv.msg_bytes = msg_bytes;
+  recv.cpu_seconds = 0.5e-6;
+  b.task(recv, {SimDep::out(200)});
+  SimTaskAttrs unpack = compute(2e-6, 0);
+  unpack.label = "unpack";
+  b.task(unpack, {SimDep::in(200)});
+  for (int i = 0; i < work_tasks; ++i) b.task(compute(work_grain), {});
+  return b.take();
+}
+
+TEST(SimRuntime, TwoRankExchangeCompletes) {
+  SimGraph g0 = exchange_graph(1, 256, 20e-6, 50);
+  SimGraph g1 = exchange_graph(0, 256, 20e-6, 50);
+  SimConfig cfg = base_config(4);
+  cfg.nranks = 2;
+  ClusterSim sim(cfg);
+  sim.set_graph(0, &g0);
+  sim.set_graph(1, &g1);
+  SimResult r = sim.run();
+  ASSERT_EQ(r.ranks.size(), 2u);
+  for (const auto& rr : r.ranks) {
+    EXPECT_EQ(rr.tasks_executed, 54u);
+    EXPECT_EQ(rr.comm.requests, 1u);  // the send is tracked
+    EXPECT_GE(rr.comm.total_comm_seconds, 0.0);
+  }
+}
+
+TEST(SimRuntime, RendezvousSendSpansLongerThanEager) {
+  auto comm_seconds = [](std::uint64_t bytes) {
+    SimGraph g0 = exchange_graph(1, bytes, 20e-6, 20);
+    SimGraph g1 = exchange_graph(0, bytes, 20e-6, 20);
+    SimConfig cfg = base_config(2);
+    cfg.nranks = 2;
+    ClusterSim sim(cfg);
+    sim.set_graph(0, &g0);
+    sim.set_graph(1, &g1);
+    SimResult r = sim.run();
+    return r.ranks[0].comm.p2p_seconds;
+  };
+  const double eager = comm_seconds(256);            // below threshold
+  const double rendezvous = comm_seconds(1 << 20);   // 1 MiB
+  EXPECT_LT(eager, 1e-6);  // eager send completes at post time
+  EXPECT_GT(rendezvous, 50e-6);
+}
+
+TEST(SimRuntime, AllreduceWaitsForSlowestRank) {
+  // Rank 1 computes longer before contributing; rank 0's collective span
+  // must cover that imbalance.
+  auto graph_with_precompute = [](double pre) {
+    SimGraphBuilder b;
+    b.task(compute(pre), {SimDep::out(1)});
+    SimTaskAttrs ar;
+    ar.kind = SimTaskKind::Allreduce;
+    ar.msg_bytes = 8;
+    ar.cpu_seconds = 0.5e-6;
+    b.task(ar, {SimDep::in(1)});
+    return b.take();
+  };
+  SimGraph fast = graph_with_precompute(5e-6);
+  SimGraph slow = graph_with_precompute(500e-6);
+  SimConfig cfg = base_config(2);
+  cfg.nranks = 2;
+  ClusterSim sim(cfg);
+  sim.set_graph(0, &fast);
+  sim.set_graph(1, &slow);
+  SimResult r = sim.run();
+  EXPECT_GT(r.ranks[0].comm.collective_seconds, 400e-6);
+  EXPECT_LT(r.ranks[1].comm.collective_seconds,
+            r.ranks[0].comm.collective_seconds);
+}
+
+TEST(SimRuntime, OverlapRatioBoundedAndPositiveWithIndependentWork) {
+  SimGraph g0 = exchange_graph(1, 1 << 20, 50e-6, 100);
+  SimGraph g1 = exchange_graph(0, 1 << 20, 50e-6, 100);
+  SimConfig cfg = base_config(4);
+  cfg.nranks = 2;
+  ClusterSim sim(cfg);
+  sim.set_graph(0, &g0);
+  sim.set_graph(1, &g1);
+  SimResult r = sim.run();
+  for (const auto& rr : r.ranks) {
+    const double ratio = rr.comm.overlap_ratio(4);
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0 + 1e-9);
+    EXPECT_GT(rr.comm.overlapped_work, 0.0)
+        << "independent tasks should overlap the rendezvous transfer";
+  }
+}
+
+TEST(SimRuntime, RepresentativeModeModelsVirtualPeers) {
+  SimGraph g = exchange_graph(1, 1 << 16, 20e-6, 30);
+  SimConfig cfg = base_config(4);
+  cfg.nranks = 1024;  // virtual peers
+  cfg.representative = true;
+  ClusterSim sim(cfg);
+  sim.set_graph(0, &g);
+  SimResult r = sim.run();
+  ASSERT_EQ(r.ranks.size(), 1u);
+  EXPECT_EQ(r.ranks[0].tasks_executed, 34u);
+  EXPECT_GT(r.ranks[0].comm.p2p_seconds, 0.0);
+}
+
+TEST(SimRuntime, RepresentativeAllreduceScalesWithLogP) {
+  auto collective_span = [](int nranks) {
+    SimGraphBuilder b;
+    SimTaskAttrs ar;
+    ar.kind = SimTaskKind::Allreduce;
+    ar.msg_bytes = 8;
+    b.task(ar, {});
+    SimGraph g = b.take();
+    SimConfig cfg;
+    cfg.machine.cores = 2;
+    cfg.nranks = nranks;
+    cfg.representative = true;
+    ClusterSim sim(cfg);
+    sim.set_graph(0, &g);
+    return sim.run().ranks[0].comm.collective_seconds;
+  };
+  const double p8 = collective_span(8);
+  const double p4096 = collective_span(4096);
+  EXPECT_GT(p4096, p8);
+}
+
+}  // namespace
