@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite under ThreadSanitizer and AddressSanitizer.
+#
+# Usage: scripts/ci_sanitize.sh [thread|address]...
+# With no arguments, both sanitizers are run in sequence. Each sanitizer
+# gets its own build tree (build-tsan/, build-asan/), configured with
+# -DTDG_SANITIZE=<kind>; a nonzero exit from either configure, build, or
+# ctest fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(thread address)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$san' (expected thread|address)" >&2
+       exit 2 ;;
+  esac
+
+  echo "=== [$san] configure ($dir) ==="
+  cmake -B "$dir" -S . -DTDG_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+  echo "=== [$san] build ==="
+  cmake --build "$dir" -j "$jobs"
+
+  echo "=== [$san] ctest ==="
+  # Sanitized binaries are several times slower; scale the per-test budget.
+  # halt_on_error makes TSan reports fail the run instead of only logging.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
+          --timeout 900
+done
+
+echo "=== sanitizer runs passed: ${sanitizers[*]} ==="

@@ -62,6 +62,11 @@ class SpinGuard {
   SpinLock& lock_;
 };
 
+/// Fatal invariant failure. TDG_CHECK is reserved for conditions whose
+/// violation means runtime state is corrupt (protocol bugs, wedged
+/// refcounts): recovery is impossible, so we abort without unwinding.
+/// Recoverable API misuse uses TDG_REQUIRE (core/error.hpp), which throws
+/// tdg::UsageError and leaves the runtime usable.
 [[noreturn]] inline void fatal(const char* file, int line, const char* msg) {
   std::fprintf(stderr, "tdg fatal: %s:%d: %s\n", file, line, msg);
   std::abort();

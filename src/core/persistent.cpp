@@ -3,21 +3,36 @@
 namespace tdg {
 
 PersistentRegion::PersistentRegion(Runtime& rt) : rt_(rt) {
-  TDG_CHECK(rt_.region_ == nullptr,
-            "nested persistent regions are not supported");
+  TDG_REQUIRE(rt.region_ == nullptr,
+              "nested persistent regions are not supported");
   rt_.region_ = this;
 }
 
 PersistentRegion::~PersistentRegion() {
-  rt_.taskwait();
+  // Barrier without the failure rethrow: destructors must not throw, and
+  // any recorded failures stay pending for the next explicit taskwait().
+  try {
+    rt_.drain();
+  } catch (const DeadlineError& e) {
+    std::fprintf(stderr,
+                 "tdg: persistent region destroyed while wedged:\n%s\n",
+                 e.what());
+    std::abort();
+  }
   rt_.discovering_persistent_ = false;
   rt_.replay_active_ = false;
   rt_.region_ = nullptr;
-  for (Task* t : tasks_) t->release();
+  for (Task* t : tasks_) {
+    // Two references die with the region: its own (record_task) and the
+    // task's self-reference, which complete_task deliberately keeps on
+    // persistent tasks so the descriptor survives between replays.
+    t->release();
+    t->release();
+  }
 }
 
 void PersistentRegion::begin_iteration() {
-  TDG_CHECK(!active_, "begin_iteration called twice without end_iteration");
+  TDG_REQUIRE(!active_, "begin_iteration called twice without end_iteration");
   active_ = true;
   if (iterations_done_ == 0) {
     // First iteration: normal discovery, tasks marked persistent. Start
@@ -36,15 +51,20 @@ void PersistentRegion::begin_iteration() {
 }
 
 void PersistentRegion::end_iteration() {
-  TDG_CHECK(active_, "end_iteration without begin_iteration");
+  TDG_REQUIRE(active_, "end_iteration without begin_iteration");
   if (iterations_done_ > 0) {
+    // A replay miscount leaves un-replayed tasks holding their discovery
+    // guard — the graph is wedged, not recoverable: stays a fatal check.
     TDG_CHECK(replayed_ == replayable_count_,
               "persistent region replayed a different number of tasks than "
               "it discovered");
   }
   // Implicit barrier (Section 3.2): every task of iteration n completes
-  // before iteration n+1 is instantiated; inter-iteration edges never exist.
-  rt_.taskwait();
+  // before iteration n+1 is instantiated; inter-iteration edges never
+  // exist. Drain without throwing: the region's bookkeeping below must run
+  // even when tasks failed, so the region stays reusable — the aggregated
+  // TaskGroupError is thrown at the end of this call.
+  rt_.drain();
   discovery_seconds_.push_back(rt_.stats().discovery_seconds());
   if (iterations_done_ == 0) {
     // Discovery is over: release the access history (it holds references
@@ -59,6 +79,9 @@ void PersistentRegion::end_iteration() {
   rt_.replay_active_ = false;
   ++iterations_done_;
   active_ = false;
+  // Rethrow after the region state is consistent: a failed iteration's
+  // tasks are re-armed by the next begin_iteration and can be replayed.
+  rt_.throw_if_failed();
 }
 
 void PersistentRegion::record_task(Task* t) {

@@ -18,10 +18,18 @@ Breakdown Profiler::breakdown() const {
   Breakdown b;
   b.per_thread.resize(acc_.size());
   for (std::size_t i = 0; i < acc_.size(); ++i) {
-    b.per_thread[i].work = static_cast<double>(acc_[i].work_ns) * 1e-9;
+    b.per_thread[i].work =
+        static_cast<double>(
+            acc_[i].work_ns.load(std::memory_order_relaxed)) *
+        1e-9;
     b.per_thread[i].overhead =
-        static_cast<double>(acc_[i].overhead_ns) * 1e-9;
-    b.per_thread[i].idle = static_cast<double>(acc_[i].idle_ns) * 1e-9;
+        static_cast<double>(
+            acc_[i].overhead_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    b.per_thread[i].idle =
+        static_cast<double>(
+            acc_[i].idle_ns.load(std::memory_order_relaxed)) *
+        1e-9;
     b.work += b.per_thread[i].work;
     b.overhead += b.per_thread[i].overhead;
     b.idle += b.per_thread[i].idle;
@@ -58,7 +66,11 @@ void Profiler::write_gantt(std::ostream& os) const {
 }
 
 void Profiler::reset() {
-  for (auto& a : acc_) a = Accum{};
+  for (auto& a : acc_) {
+    a.work_ns.store(0, std::memory_order_relaxed);
+    a.overhead_ns.store(0, std::memory_order_relaxed);
+    a.idle_ns.store(0, std::memory_order_relaxed);
+  }
   for (auto& tb : trace_) tb.records.clear();
 }
 

@@ -5,6 +5,7 @@
 // while ready tasks exist), idleness (outside a body with none ready).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -55,14 +56,16 @@ class Profiler {
   void set_trace_enabled(bool on) { trace_enabled_ = on; }
 
   // --- accumulators, called from worker loops ----------------------------
+  // Relaxed atomics: each slot is written by its own thread only, but
+  // breakdown() reads them while idle workers are still accumulating.
   void add_work(unsigned thread, std::uint64_t ns) {
-    acc_[thread].work_ns += ns;
+    acc_[thread].work_ns.fetch_add(ns, std::memory_order_relaxed);
   }
   void add_overhead(unsigned thread, std::uint64_t ns) {
-    acc_[thread].overhead_ns += ns;
+    acc_[thread].overhead_ns.fetch_add(ns, std::memory_order_relaxed);
   }
   void add_idle(unsigned thread, std::uint64_t ns) {
-    acc_[thread].idle_ns += ns;
+    acc_[thread].idle_ns.fetch_add(ns, std::memory_order_relaxed);
   }
 
   /// Record a completed task instance (trace mode only).
@@ -84,9 +87,9 @@ class Profiler {
 
  private:
   struct alignas(kCacheLine) Accum {
-    std::uint64_t work_ns = 0;
-    std::uint64_t overhead_ns = 0;
-    std::uint64_t idle_ns = 0;
+    std::atomic<std::uint64_t> work_ns{0};
+    std::atomic<std::uint64_t> overhead_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
   };
   struct alignas(kCacheLine) TraceBuf {
     std::vector<TaskRecord> records;

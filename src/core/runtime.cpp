@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/persistent.hpp"
 
@@ -22,6 +23,7 @@ void Event::fulfill() {
   if (fulfilled_.exchange(true, std::memory_order_acq_rel)) return;
   Task* t = task_;
   if (t == nullptr) return;
+  runtime_->watchdog_.note_progress();
   if (t->completion_latch.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     runtime_->complete_task(t, runtime_->current_slot());
   }
@@ -33,7 +35,10 @@ void Event::fulfill() {
 
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
+      watchdog_(cfg.watchdog),
       dep_map_(*static_cast<DiscoveryHooks*>(this)) {
+  watchdog_.add_diagnostic(
+      [this](std::string& out) { runtime_diagnostic(out); });
   unsigned n = cfg_.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   cfg_.num_threads = n;
@@ -50,7 +55,23 @@ Runtime::Runtime(Config cfg)
 }
 
 Runtime::~Runtime() {
-  taskwait();
+  try {
+    drain();
+  } catch (const DeadlineError& e) {
+    // Destroying a wedged runtime cannot be recovered from (tasks still
+    // reference it); print the watchdog report and die loudly rather than
+    // unwinding through a noexcept destructor.
+    std::fprintf(stderr, "tdg: runtime destroyed while wedged:\n%s\n",
+                 e.what());
+    std::abort();
+  }
+  // Failures no caller waited for can no longer be thrown; drop them.
+  {
+    SpinGuard g(failures_lock_);
+    failures_.clear();
+    cancelled_.clear();
+    has_failures_.store(false, std::memory_order_relaxed);
+  }
   shutdown_.store(true, std::memory_order_release);
   for (auto& w : workers_) w.join();
   dep_map_.clear();
@@ -61,6 +82,8 @@ Runtime::~Runtime() {
 // ---------------------------------------------------------------------------
 
 Task* Runtime::allocate_task(const TaskOpts& opts) {
+  TDG_REQUIRE(opts.detach == nullptr || !opts.detach->fulfilled(),
+              "detach event fulfilled before the task was submitted");
   Task* t = new Task(next_task_id_.fetch_add(1, std::memory_order_relaxed));
   t->opts = opts;
   t->t_create = now_ns();
@@ -74,12 +97,12 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
   pending_.fetch_add(1, std::memory_order_relaxed);
   live_tasks_.fetch_add(1, std::memory_order_relaxed);
   if (opts.detach != nullptr) {
-    TDG_CHECK(!opts.detach->fulfilled(),
-              "detach event fulfilled before the task was submitted");
     t->completion_latch.store(2, std::memory_order_relaxed);
     t->detach_event = opts.detach;
     opts.detach->runtime_ = this;
     opts.detach->task_ = t;
+    opts.detach->task_label_ = opts.label;
+    opts.detach->task_id_ = t->id();
   }
   if (discovering_persistent_) {
     t->persistent = true;
@@ -187,13 +210,27 @@ void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
 void Runtime::run_task(Task* t, unsigned thread) {
   t->exec_thread = thread;
   t->t_start = now_ns();
-  t->state.store(TaskState::Running, std::memory_order_relaxed);
-  Task* prev_current = tls_current_task;
-  tls_current_task = t;
-  if (!t->body.empty()) t->body.invoke();
-  tls_current_task = prev_current;
+  // Graph poisoning: a task whose (transitive) predecessor failed reaches
+  // readiness normally but its body is skipped; completing it propagates
+  // cancellation to its own successors.
+  const bool cancelled = t->cancelled.load(std::memory_order_acquire);
+  bool ok = !cancelled;
+  if (cancelled) {
+    if (!t->opts.internal) record_cancelled(t);
+  } else {
+    t->state.store(TaskState::Running, std::memory_order_relaxed);
+    watchdog_.note_progress();
+    Task* prev_current = tls_current_task;
+    tls_current_task = t;
+    if (!t->body.empty()) ok = run_body_with_retries(t);
+    tls_current_task = prev_current;
+  }
   const std::uint64_t t_body_end = now_ns();
   profiler_->add_work(thread, t_body_end - t->t_start);
+  // A failed or cancelled task never posts the operation that would
+  // fulfill its detach event; force-fulfill so the latch resolves instead
+  // of wedging taskwait (idempotent if the body got far enough to post).
+  if (!ok && t->detach_event != nullptr) t->detach_event->fulfill();
   if (t->completion_latch.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     complete_task(t, thread);
   } else {
@@ -202,10 +239,66 @@ void Runtime::run_task(Task* t, unsigned thread) {
   profiler_->add_overhead(thread, now_ns() - t_body_end);
 }
 
+bool Runtime::run_body_with_retries(Task* t) {
+  std::uint32_t attempt = 0;
+  for (;;) {
+    try {
+      t->body.invoke();
+      return true;
+    } catch (...) {
+      ++attempt;
+      if (attempt > t->opts.max_retries) {
+        record_failure(t, std::current_exception(), attempt);
+        return false;
+      }
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+      watchdog_.note_progress();  // a retry attempt is forward progress
+      if (t->opts.retry_backoff_seconds > 0.0) {
+        const double backoff =
+            t->opts.retry_backoff_seconds *
+            static_cast<double>(1u << std::min(attempt - 1, 20u));
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
+}
+
+void Runtime::record_failure(Task* t, std::exception_ptr err,
+                             std::uint32_t tries) {
+  t->failed = true;  // ordered for the completer by the latch decrement
+  t->state.store(TaskState::Failed, std::memory_order_relaxed);
+  TaskFailure f;
+  f.task_id = t->id();
+  f.label = t->opts.label;
+  f.message = describe_exception(err);
+  f.error = std::move(err);
+  f.attempts = tries;
+  SpinGuard g(failures_lock_);
+  failures_.push_back(std::move(f));
+  has_failures_.store(true, std::memory_order_release);
+}
+
+void Runtime::record_cancelled(Task* t) {
+  SpinGuard g(failures_lock_);
+  cancelled_.push_back(CancelledTask{t->id(), t->opts.label});
+  has_failures_.store(true, std::memory_order_release);
+}
+
 void Runtime::complete_task(Task* t, unsigned thread) {
   t->t_end = now_ns();
-  t->state.store(TaskState::Finished, std::memory_order_relaxed);
-  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  const bool failed = t->failed;
+  const bool cancelled = !failed && t->cancelled.load(std::memory_order_acquire);
+  const bool poisoned = failed || cancelled;
+  if (failed) {
+    // state already TaskState::Failed (set in record_failure)
+    tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (cancelled) {
+    t->state.store(TaskState::Cancelled, std::memory_order_relaxed);
+    tasks_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    t->state.store(TaskState::Finished, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (profiler_->trace_enabled() && !t->opts.internal) {
     TaskRecord rec;
     rec.task_id = t->id();
@@ -219,13 +312,17 @@ void Runtime::complete_task(Task* t, unsigned thread) {
     profiler_->record(thread, rec);
   }
   const bool keep = t->persistent;
-  std::vector<Task*> succs = t->snapshot_successors_and_finish(keep);
+  std::vector<Task*> succs = t->snapshot_successors_and_finish(keep, poisoned);
   for (Task* s : succs) {
+    // Poison before dropping the count: the release of fetch_sub publishes
+    // the cancelled flag to whichever thread makes the successor ready.
+    if (poisoned) s->cancelled.store(true, std::memory_order_release);
     if (s->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       enqueue_ready(s, thread, /*successor=*/true);
     }
   }
   live_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  watchdog_.note_progress();
   pending_.fetch_sub(1, std::memory_order_acq_rel);
   if (!keep) t->release();  // drop the self-reference
 }
@@ -274,21 +371,43 @@ void Runtime::worker_loop(unsigned slot) {
 }
 
 void Runtime::taskwait() {
+  drain();
+  throw_if_failed();
+}
+
+void Runtime::drain() {
   const unsigned slot = current_slot();
+  Watchdog::Scope ws(&watchdog_, "taskwait");
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (!try_execute_one(slot)) {
       poll();
+      ws.poll();
       std::this_thread::yield();
     }
   }
 }
 
+void Runtime::throw_if_failed() {
+  if (!has_failures_.load(std::memory_order_acquire)) return;
+  std::vector<TaskFailure> failures;
+  std::vector<CancelledTask> cancelled;
+  {
+    SpinGuard g(failures_lock_);
+    failures.swap(failures_);
+    cancelled.swap(cancelled_);
+    has_failures_.store(false, std::memory_order_relaxed);
+  }
+  throw TaskGroupError(std::move(failures), std::move(cancelled));
+}
+
 void Runtime::throttle(unsigned slot) {
   const auto& th = cfg_.throttle;
+  Watchdog::Scope ws(&watchdog_, "throttle");
   while (ready_count_.load(std::memory_order_relaxed) > th.max_ready ||
          live_tasks_.load(std::memory_order_relaxed) > th.max_total) {
     if (!try_execute_one(slot)) {
       poll();
+      ws.poll();
       std::this_thread::yield();
       if (pending_.load(std::memory_order_acquire) == 0) break;
     }
@@ -304,13 +423,21 @@ void Runtime::poll() {
   if (hook) (*hook)();
 }
 
-void Runtime::set_polling_hook(std::function<void()> hook) {
+Runtime::PollingHookToken Runtime::set_polling_hook(
+    std::function<void()> hook) {
   std::shared_ptr<const std::function<void()>> p;
   if (hook) {
     p = std::make_shared<const std::function<void()>>(std::move(hook));
   }
   SpinGuard g(hook_lock_);
-  polling_hook_ = std::move(p);
+  polling_hook_ = p;
+  return p;
+}
+
+void Runtime::clear_polling_hook(const PollingHookToken& token) {
+  if (token == nullptr) return;
+  SpinGuard g(hook_lock_);
+  if (polling_hook_ == token) polling_hook_.reset();
 }
 
 Event* Runtime::create_event() {
@@ -328,6 +455,23 @@ unsigned Runtime::current_slot() const {
   return tls_slot < deques_.size() ? tls_slot : 0u;
 }
 
+void Runtime::runtime_diagnostic(std::string& out) const {
+  out += "\n  live tasks: " + std::to_string(live_tasks()) + " (ready " +
+         std::to_string(ready_tasks()) + ")";
+  SpinGuard g(events_lock_);
+  std::size_t shown = 0;
+  for (const auto& ev : events_) {
+    if (ev->fulfilled() || ev->task_id() == 0) continue;
+    out += "\n  unfulfilled detach event: task '";
+    out += ev->task_label();
+    out += "' (id " + std::to_string(ev->task_id()) + ")";
+    if (++shown == 16) {
+      out += "\n  (more unfulfilled events elided)";
+      break;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Stats
 // ---------------------------------------------------------------------------
@@ -337,6 +481,9 @@ RuntimeStats Runtime::stats() const {
   s.tasks_created = tasks_created_;
   s.internal_nodes = internal_nodes_;
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_failed = tasks_failed_.load(std::memory_order_relaxed);
+  s.tasks_cancelled = tasks_cancelled_.load(std::memory_order_relaxed);
+  s.task_retries = task_retries_.load(std::memory_order_relaxed);
   s.discovery = disc_stats_;
   s.discovery_begin_ns = discovery_begin_ns_;
   s.discovery_end_ns = discovery_end_ns_;
@@ -350,6 +497,9 @@ void Runtime::reset_stats() {
   discovery_begin_ns_ = 0;
   discovery_end_ns_ = 0;
   tasks_executed_.store(0, std::memory_order_relaxed);
+  tasks_failed_.store(0, std::memory_order_relaxed);
+  tasks_cancelled_.store(0, std::memory_order_relaxed);
+  task_retries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tdg

@@ -12,14 +12,17 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/common.hpp"
 #include "core/depend.hpp"
+#include "core/error.hpp"
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
 #include "core/task.hpp"
+#include "core/watchdog.hpp"
 
 namespace tdg {
 
@@ -30,6 +33,9 @@ struct RuntimeStats {
   std::uint64_t tasks_created = 0;    ///< user tasks discovered
   std::uint64_t internal_nodes = 0;   ///< inoutset redirect nodes
   std::uint64_t tasks_executed = 0;   ///< task instances run (replays count)
+  std::uint64_t tasks_failed = 0;     ///< instances whose body threw (final)
+  std::uint64_t tasks_cancelled = 0;  ///< instances skipped by poisoning
+  std::uint64_t task_retries = 0;     ///< extra attempts by the retry policy
   DiscoveryStats discovery;
   /// Discovery span: first to last task creation since the last reset
   /// ("the time from the first to the last task creation", Section 1).
@@ -57,6 +63,7 @@ class Runtime : public DiscoveryHooks {
     SchedulePolicy policy = SchedulePolicy::DepthFirstLifo;
     DiscoveryOptions discovery;
     ThrottleConfig throttle;
+    WatchdogConfig watchdog;  ///< hang detection; disabled by default
     bool trace = false;  ///< record full task traces (Gantt etc.)
   };
 
@@ -92,7 +99,7 @@ class Runtime : public DiscoveryHooks {
   template <class DepGen, class Body>
   void taskloop(std::int64_t begin, std::int64_t end, int num_tasks,
                 DepGen&& depgen, Body&& body, TaskOpts opts = {}) {
-    TDG_CHECK(num_tasks > 0, "taskloop requires num_tasks > 0");
+    TDG_REQUIRE(num_tasks > 0, "taskloop requires num_tasks > 0");
     const std::int64_t n = end - begin;
     if (n <= 0) return;
     const std::int64_t chunks = std::min<std::int64_t>(num_tasks, n);
@@ -109,6 +116,14 @@ class Runtime : public DiscoveryHooks {
 
   /// Wait until every submitted task has completed; the calling thread
   /// executes tasks while waiting (an OpenMP taskwait-at-region-scope).
+  ///
+  /// Failure model: if any task body threw (after exhausting its retry
+  /// budget), the graph is first fully drained — transitive dependents of
+  /// failed tasks are cancelled, independent tasks still run — and then a
+  /// TaskGroupError aggregating every failure and cancellation is thrown.
+  /// The runtime remains usable afterwards. With a watchdog deadline
+  /// configured, a no-progress stall instead raises DeadlineError (or
+  /// invokes the configured callback) with a diagnostic report.
   void taskwait();
 
   /// Create a detach event to attach to a task via TaskOpts::detach.
@@ -123,16 +138,32 @@ class Runtime : public DiscoveryHooks {
   Event* current_task_event() const;
 
   // --- scheduling-point hook (MPI interoperability) ------------------------
+  /// Identifies one installed polling hook, so an owner can uninstall its
+  /// own hook without clobbering a newer one installed after it.
+  using PollingHookToken = std::shared_ptr<const std::function<void()>>;
+
   /// Called repeatedly from worker idle loops, task boundaries and
   /// taskwait: the MPI polling hook of the paper ("polling MPI requests on
-  /// OpenMP scheduling points"). Must be thread-safe.
-  void set_polling_hook(std::function<void()> hook);
+  /// OpenMP scheduling points"). Must be thread-safe. Returns a token for
+  /// clear_polling_hook; installing a new hook replaces the previous one.
+  PollingHookToken set_polling_hook(std::function<void()> hook);
+  /// Uninstall the hook identified by `token` — only if it is still the
+  /// installed one (a later set_polling_hook wins and is left in place).
+  void clear_polling_hook(const PollingHookToken& token);
 
   // --- introspection --------------------------------------------------------
   RuntimeStats stats() const;
   /// Reset graph counters and the discovery span (not the profiler).
   void reset_stats();
   Profiler& profiler() { return *profiler_; }
+  /// The runtime's hang watchdog (configure via Config::watchdog; attach
+  /// extra diagnostics, e.g. a RequestPoller's pending-request dump).
+  Watchdog& watchdog() { return watchdog_; }
+  /// True if failures/cancellations have been recorded since the last
+  /// taskwait() that reported them.
+  bool has_failures() const {
+    return has_failures_.load(std::memory_order_acquire);
+  }
   unsigned num_threads() const {
     return static_cast<unsigned>(deques_.size());
   }
@@ -178,6 +209,18 @@ class Runtime : public DiscoveryHooks {
   void enqueue_ready(Task* t, unsigned thread_hint, bool successor);
   void run_task(Task* t, unsigned thread);
   void complete_task(Task* t, unsigned thread);
+  /// Execute the body with the task's retry policy; returns true on
+  /// success, false once the task is declared failed (failure recorded).
+  bool run_body_with_retries(Task* t);
+  void record_failure(Task* t, std::exception_ptr err, std::uint32_t tries);
+  void record_cancelled(Task* t);
+  /// taskwait minus the failure rethrow (used by destructors, which must
+  /// not throw, and by PersistentRegion's barrier bookkeeping).
+  void drain();
+  /// Throw the aggregated TaskGroupError if any failure was recorded;
+  /// clears the recorded state first (the runtime stays usable).
+  void throw_if_failed();
+  void runtime_diagnostic(std::string& out) const;
   /// Try to obtain and run one task from the calling slot; returns false
   /// if none was available anywhere.
   bool try_execute_one(unsigned thread);
@@ -188,11 +231,12 @@ class Runtime : public DiscoveryHooks {
 
   Config cfg_;
   std::unique_ptr<Profiler> profiler_;
+  Watchdog watchdog_;
   DependencyMap dep_map_;
   std::vector<std::unique_ptr<WorkDeque>> deques_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<Event>> events_;
-  SpinLock events_lock_;
+  mutable SpinLock events_lock_;  // also taken by the watchdog diagnostic
 
   /// The polling hook is installed/cleared concurrently with workers
   /// invoking it (e.g. a RequestPoller tearing down), so pollers pin the
@@ -205,6 +249,13 @@ class Runtime : public DiscoveryHooks {
   std::atomic<std::size_t> live_tasks_{0};  ///< descriptors alive (throttle)
   std::atomic<std::size_t> ready_count_{0};
 
+  // failure aggregation (executing threads write under failures_lock_;
+  // taskwait drains the graph, then swaps the lists out and throws)
+  mutable SpinLock failures_lock_;
+  std::vector<TaskFailure> failures_;
+  std::vector<CancelledTask> cancelled_;
+  std::atomic<bool> has_failures_{false};
+
   // counters (producer-written except tasks_executed)
   std::uint64_t tasks_created_ = 0;
   std::uint64_t internal_nodes_ = 0;
@@ -212,6 +263,9 @@ class Runtime : public DiscoveryHooks {
   std::uint64_t discovery_begin_ns_ = 0;
   std::uint64_t discovery_end_ns_ = 0;
   std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_failed_{0};
+  std::atomic<std::uint64_t> tasks_cancelled_{0};
+  std::atomic<std::uint64_t> task_retries_{0};
   std::atomic<std::uint64_t> next_task_id_{1};
 
   // persistent-region state (managed by PersistentRegion)

@@ -20,11 +20,13 @@ class Runtime;
 
 /// Lifecycle states of a task (profiling / assertions).
 enum class TaskState : std::uint8_t {
-  Created,   ///< discovered, predecessors outstanding
-  Ready,     ///< all predecessors satisfied, queued
-  Running,   ///< body executing on some thread
-  Detached,  ///< body done, waiting on a detach event
-  Finished,  ///< complete; successors released
+  Created,    ///< discovered, predecessors outstanding
+  Ready,      ///< all predecessors satisfied, queued
+  Running,    ///< body executing on some thread
+  Detached,   ///< body done, waiting on a detach event
+  Finished,   ///< complete; successors released
+  Failed,     ///< body threw after exhausting retries; successors cancelled
+  Cancelled,  ///< a transitive predecessor failed; body never ran
 };
 
 /// Detach event (OpenMP `detach(event)` clause). A task carrying an event
@@ -40,6 +42,12 @@ class Event {
     return fulfilled_.load(std::memory_order_acquire);
   }
 
+  /// Label / id of the owning task (watchdog diagnostics; valid once the
+  /// event has been attached via TaskOpts::detach). Labels are static
+  /// strings, so the snapshot stays readable for the event's lifetime.
+  const char* task_label() const noexcept { return task_label_; }
+  std::uint64_t task_id() const noexcept { return task_id_; }
+
  private:
   friend class Runtime;
   friend class Task;
@@ -47,6 +55,8 @@ class Event {
   std::atomic<bool> fulfilled_{false};
   Task* task_ = nullptr;     // owning task, set at submit
   Runtime* runtime_ = nullptr;
+  const char* task_label_ = "";  // diagnostic snapshot, set at submit
+  std::uint64_t task_id_ = 0;
 };
 
 /// Type-erased task body with inline small-buffer storage.
@@ -149,6 +159,12 @@ struct TaskOpts {
   const char* label = "";     ///< profiler label (static string)
   Event* detach = nullptr;    ///< detach event; task completes on fulfill
   bool internal = false;      ///< runtime-inserted node (e.g. inoutset R)
+  /// Transient-failure policy: a body that throws is re-run up to
+  /// `max_retries` times before the task is declared failed and its
+  /// dependents cancelled. Retries sleep `retry_backoff_seconds * 2^k`
+  /// (k = 0, 1, ...) between attempts, on the executing worker.
+  std::uint32_t max_retries = 0;
+  double retry_backoff_seconds = 0.0;
 };
 
 /// A task descriptor. Instances are reference counted: the dependency map,
@@ -186,9 +202,15 @@ class Task {
   /// concurrent completion of `this`. In persistent mode edges to finished
   /// predecessors are still recorded (the paper: "creating every edge is
   /// necessary since no edges are recreated on future iterations").
+  /// Graph poisoning: an edge to a predecessor that already finished in a
+  /// failed/cancelled state cancels the successor immediately — pruning
+  /// must not let a late-discovered dependent escape cancellation.
   EdgeResult add_successor(Task* succ, bool persistent) {
     SpinGuard g(succ_lock_);
     if (finished_flag_) {
+      if (poisoned_flag_) {
+        succ->cancelled.store(true, std::memory_order_release);
+      }
       if (!persistent) return EdgeResult::Pruned;
       successors_.push_back(succ);
       return EdgeResult::Recorded;
@@ -200,18 +222,26 @@ class Task {
   /// Snapshot successors and mark finished, so that later add_successor
   /// calls observe completion. Called once per execution instance. When
   /// `keep` (persistent task), the recorded list is preserved for replay.
-  std::vector<Task*> snapshot_successors_and_finish(bool keep) {
+  /// `poisoned` marks this instance failed/cancelled, so late edges to it
+  /// cancel their successor (see add_successor).
+  std::vector<Task*> snapshot_successors_and_finish(bool keep,
+                                                    bool poisoned) {
     SpinGuard g(succ_lock_);
     finished_flag_ = true;
+    poisoned_flag_ = poisoned;
     if (keep) return successors_;  // copy
     return std::move(successors_);
   }
 
   /// Persistent re-arm: clear the finished flag so the recorded successor
-  /// list applies again next iteration (the list is NOT cleared).
+  /// list applies again next iteration (the list is NOT cleared), and
+  /// reset the failure state of the previous iteration's instance.
   void rearm_persistent() {
     SpinGuard g(succ_lock_);
     finished_flag_ = false;
+    poisoned_flag_ = false;
+    failed = false;
+    cancelled.store(false, std::memory_order_relaxed);
   }
 
   const std::vector<Task*>& successors_unsafe() const { return successors_; }
@@ -224,6 +254,15 @@ class Task {
 
   /// Completion latch: 1 for the body, +1 when a detach event is attached.
   std::atomic<std::int32_t> completion_latch{1};
+
+  // --- failure state ----------------------------------------------------------
+  /// Set (with release) before the predecessor's count is dropped when a
+  /// transitive predecessor failed; observed (acquire via npredecessors)
+  /// when the task becomes ready, where its body is skipped.
+  std::atomic<bool> cancelled{false};
+  /// Set by the executing thread after the final failed attempt, before
+  /// the completion-latch decrement (which orders it for the completer).
+  bool failed = false;
 
   // --- persistent-graph bookkeeping -----------------------------------------
   bool persistent = false;
@@ -258,6 +297,7 @@ class Task {
 
   SpinLock succ_lock_;
   bool finished_flag_ = false;
+  bool poisoned_flag_ = false;  // finished in a failed/cancelled state
   std::vector<Task*> successors_;
 };
 

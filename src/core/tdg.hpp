@@ -11,8 +11,10 @@
 #include "core/common.hpp"
 #include "core/depend.hpp"
 #include "core/depend_types.hpp"
+#include "core/error.hpp"
 #include "core/persistent.hpp"
 #include "core/profiler.hpp"
 #include "core/runtime.hpp"
 #include "core/scheduler.hpp"
 #include "core/task.hpp"
+#include "core/watchdog.hpp"

@@ -1,0 +1,71 @@
+#include "core/watchdog.hpp"
+
+#include <cstdio>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+std::uint64_t Watchdog::add_diagnostic(Diagnostic fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t token = next_token_++;
+  diags_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Watchdog::remove_diagnostic(std::uint64_t token) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    if (diags_[i].first == token) {
+      diags_.erase(diags_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::string Watchdog::build_report(const char* what,
+                                   double stalled_seconds) const {
+  char head[128];
+  std::snprintf(head, sizeof head,
+                "watchdog: no progress for %.3fs while waiting in %s",
+                stalled_seconds, what);
+  std::string report = head;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [token, diag] : diags_) {
+    (void)token;
+    diag(report);
+  }
+  return report;
+}
+
+Watchdog::Scope::Scope(Watchdog* wd, const char* what)
+    : wd_(wd != nullptr && wd->enabled() ? wd : nullptr), what_(what) {
+  if (wd_ != nullptr) {
+    last_epoch_ = wd_->progress_epoch();
+    last_change_s_ = now_seconds();
+  }
+}
+
+void Watchdog::Scope::poll() {
+  if (wd_ == nullptr) return;
+  const std::uint64_t epoch = wd_->progress_epoch();
+  const double now = now_seconds();
+  if (epoch != last_epoch_) {
+    last_epoch_ = epoch;
+    last_change_s_ = now;
+    return;
+  }
+  const double stalled = now - last_change_s_;
+  if (stalled < wd_->cfg_.deadline_seconds) return;
+  std::string report = wd_->build_report(what_, stalled);
+  // Re-arm before reporting: a callback that chooses to keep waiting gets
+  // one report per deadline period, not one per poll.
+  last_change_s_ = now;
+  if (wd_->cfg_.on_deadline) {
+    wd_->cfg_.on_deadline(report);
+  } else {
+    throw DeadlineError(std::move(report));
+  }
+}
+
+}  // namespace tdg

@@ -54,4 +54,21 @@ std::size_t RequestPoller::pending() const {
   return pending_.size();
 }
 
+void RequestPoller::diagnostic(std::string& out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::size_t shown = 0;
+  for (const Tracked& t : pending_) {
+    out += "\n  pending MPI request: " + t.req.describe();
+    if (t.ev != nullptr && t.ev->task_id() != 0) {
+      out += " (detach task '";
+      out += t.ev->task_label();
+      out += "', id " + std::to_string(t.ev->task_id()) + ")";
+    }
+    if (++shown == 16) {
+      out += "\n  (more pending requests elided)";
+      break;
+    }
+  }
+}
+
 }  // namespace tdg::mpi

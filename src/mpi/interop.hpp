@@ -33,10 +33,17 @@ struct RequestSpan {
 class RequestPoller {
  public:
   explicit RequestPoller(Runtime& rt) : rt_(&rt) {
-    rt_->set_polling_hook([this] { poll(); });
+    hook_token_ = rt_->set_polling_hook([this] { poll(); });
+    diag_token_ = rt_->watchdog().add_diagnostic(
+        [this](std::string& out) { diagnostic(out); });
   }
   ~RequestPoller() {
-    if (rt_ != nullptr) rt_->set_polling_hook({});
+    if (rt_ != nullptr) {
+      // Token-based uninstall: only clears the hook if it is still ours —
+      // a second poller installed after us must keep its hook.
+      rt_->clear_polling_hook(hook_token_);
+      rt_->watchdog().remove_diagnostic(diag_token_);
+    }
   }
   RequestPoller(const RequestPoller&) = delete;
   RequestPoller& operator=(const RequestPoller&) = delete;
@@ -51,6 +58,10 @@ class RequestPoller {
   std::vector<RequestSpan> completed_spans() const;
   std::size_t pending() const;
 
+  /// Append this poller's pending requests to a watchdog report
+  /// ("pending MPI request: irecv src=1 tag=7 bytes=8").
+  void diagnostic(std::string& out) const;
+
  private:
   struct Tracked {
     Request req;
@@ -59,6 +70,8 @@ class RequestPoller {
   };
 
   Runtime* rt_;
+  Runtime::PollingHookToken hook_token_;
+  std::uint64_t diag_token_ = 0;
   mutable std::mutex mu_;
   std::vector<Tracked> pending_;
   std::vector<RequestSpan> done_;

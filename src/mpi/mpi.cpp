@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <thread>
 #include <unordered_map>
 
 #include "core/common.hpp"
+#include "core/error.hpp"
 
 namespace tdg::mpi {
 namespace detail {
@@ -23,6 +25,16 @@ double reduce_one(Op op, double a, double b) {
   }
   return a;
 }
+
+// Counter-based splitmix64: stateless hash of (seed, rank, sequence), so
+// fault decisions depend only on a rank's own send sequence — deterministic
+// across thread interleavings.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 // One in-flight message, staged (eager) or referencing the sender's buffer
@@ -34,6 +46,8 @@ struct Message {
   const void* src_buf = nullptr;      // rendezvous only
   std::vector<std::byte> staged;      // eager only
   std::shared_ptr<ReqState> sreq;     // rendezvous sender request
+  std::uint64_t deliver_at_ns = 0;    // fault injection: matchable when due
+  bool delayed = false;               // counted in World::delayed_count
 };
 
 struct PostedRecv {
@@ -69,9 +83,83 @@ struct CollectiveSlot {
 struct World {
   int nranks = 0;
   std::size_t eager_threshold = 0;
+  double default_wait_deadline = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::mutex coll_mu;
   std::unordered_map<std::uint64_t, CollectiveSlot> collectives;
+
+  // --- fault injection -----------------------------------------------------
+  FaultPlan faults;
+  bool faults_active = false;
+  /// Messages currently held past their send time; while non-zero, request
+  /// polling drives Mailbox progress so due messages get delivered.
+  std::atomic<int> delayed_count{0};
+  std::vector<std::uint64_t> fault_seq;  // per-sender-rank decision counter
+  std::atomic<std::uint64_t> stat_delays{0};
+  std::atomic<std::uint64_t> stat_duplicates{0};
+  std::atomic<std::uint64_t> stat_reorders{0};
+  std::atomic<std::uint64_t> stat_straggler_delays{0};
+
+  /// Next deterministic uniform draw in [0,1) for `rank`'s send stream.
+  /// Called only from that rank's thread.
+  double draw(int rank) {
+    const std::uint64_t n =
+        mix64(faults.seed ^ mix64(static_cast<std::uint64_t>(rank) ^
+                                  mix64(fault_seq[static_cast<std::size_t>(
+                                      rank)]++)));
+    return static_cast<double>(n >> 11) * 0x1.0p-53;
+  }
+
+  bool is_straggler(int rank) const {
+    return std::find(faults.straggler_ranks.begin(),
+                     faults.straggler_ranks.end(),
+                     rank) != faults.straggler_ranks.end();
+  }
+
+  /// Deliver a matched message into a posted receive and complete the
+  /// involved requests. Caller holds the mailbox lock.
+  void deliver(PostedRecv& p, Message& m) {
+    TDG_REQUIRE(p.bytes >= m.bytes, "recv: receive buffer too small");
+    if (m.src_buf != nullptr) {  // rendezvous: copy + release sender
+      std::memcpy(p.buf, m.src_buf, m.bytes);
+      m.sreq->done.store(true, std::memory_order_release);
+    } else {
+      std::memcpy(p.buf, m.staged.data(), m.bytes);
+    }
+    p.rreq->done.store(true, std::memory_order_release);
+    if (m.delayed) delayed_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Drive delivery of due delayed messages in `rank`'s mailbox. Per-
+  /// (src,tag) non-overtaking is preserved: a posted receive only matches
+  /// the *first* queued message of its stream, and skips the stream
+  /// entirely while that head is still held.
+  void progress(int rank) {
+    if (rank < 0 || delayed_count.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(rank)];
+    const std::uint64_t now = now_ns();
+    std::lock_guard<std::mutex> g(mb.mu);
+    for (std::size_t pi = 0; pi < mb.posted.size();) {
+      PostedRecv& p = mb.posted[pi];
+      bool delivered = false;
+      for (auto it = mb.unexpected.begin(); it != mb.unexpected.end();
+           ++it) {
+        if (it->src != p.src || it->tag != p.tag) continue;
+        if (it->deliver_at_ns > now) break;  // head of stream not yet due
+        deliver(p, *it);
+        mb.unexpected.erase(it);
+        delivered = true;
+        break;
+      }
+      if (delivered) {
+        mb.posted.erase(mb.posted.begin() + static_cast<std::ptrdiff_t>(pi));
+      } else {
+        ++pi;
+      }
+    }
+  }
 };
 
 }  // namespace detail
@@ -79,66 +167,202 @@ struct World {
 using detail::Mailbox;
 using detail::Message;
 using detail::PostedRecv;
+using detail::ReqKind;
 using detail::ReqState;
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+bool Request::done() const {
+  if (state_ == nullptr) return true;
+  if (state_->done.load(std::memory_order_acquire)) return true;
+  // Fault-injected delays park messages in the mailbox; whoever polls an
+  // incomplete request lends progress so due messages get delivered even
+  // if the owning rank is busy executing tasks.
+  if (state_->world != nullptr) {
+    state_->world->progress(state_->progress_rank);
+    return state_->done.load(std::memory_order_acquire);
+  }
+  return false;
+}
+
+std::string Request::describe() const {
+  if (state_ == nullptr) return "request <empty>";
+  std::string s;
+  switch (state_->kind) {
+    case ReqKind::Send:
+      s = "isend dest=" + std::to_string(state_->peer) +
+          " tag=" + std::to_string(state_->tag) +
+          " bytes=" + std::to_string(state_->bytes);
+      break;
+    case ReqKind::Recv:
+      s = "irecv src=" + std::to_string(state_->peer) +
+          " tag=" + std::to_string(state_->tag) +
+          " bytes=" + std::to_string(state_->bytes);
+      break;
+    case ReqKind::Collective:
+      s = "iallreduce count=" + std::to_string(state_->bytes /
+                                               sizeof(double));
+      break;
+    case ReqKind::None:
+      s = "request <untyped>";
+      break;
+  }
+  s += state_->done.load(std::memory_order_acquire) ? " (done)"
+                                                    : " (pending)";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
 
 int Comm::size() const { return world_->nranks; }
 
 Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
-  TDG_CHECK(dest >= 0 && dest < world_->nranks, "isend: bad destination");
-  ++stats_.sends;
-  stats_.bytes_sent += bytes;
+  TDG_REQUIRE(dest >= 0 && dest < world_->nranks, "isend: bad destination");
+  counters_.sends.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
   auto sreq = std::make_shared<ReqState>();
+  sreq->kind = ReqKind::Send;
+  sreq->peer = dest;
+  sreq->tag = tag;
+  sreq->bytes = bytes;
+  sreq->world = world_;
+  sreq->progress_rank = dest;  // matching happens in the dest mailbox
+
+  // Fault-plan decisions for this message (sender-sequence deterministic).
+  std::uint64_t extra_delay_ns = 0;
+  bool duplicate = false;
+  bool reorder = false;
+  if (world_->faults_active) {
+    const FaultPlan& fp = world_->faults;
+    if (fp.delay_probability > 0.0 &&
+        world_->draw(rank_) < fp.delay_probability) {
+      extra_delay_ns += static_cast<std::uint64_t>(fp.delay_seconds * 1e9);
+      world_->stat_delays.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (world_->is_straggler(rank_) && fp.straggler_delay_seconds > 0.0) {
+      extra_delay_ns +=
+          static_cast<std::uint64_t>(fp.straggler_delay_seconds * 1e9);
+      world_->stat_straggler_delays.fetch_add(1, std::memory_order_relaxed);
+    }
+    duplicate = fp.duplicate_probability > 0.0 &&
+                world_->draw(rank_) < fp.duplicate_probability &&
+                bytes <= world_->eager_threshold;
+    reorder = fp.reorder_probability > 0.0 &&
+              world_->draw(rank_) < fp.reorder_probability;
+    // Stats count *decisions*, taken here so they are a pure function of
+    // (seed, rank, sequence). Whether a drawn duplicate/reorder is
+    // actually applied depends on mailbox state (an early fast-path match,
+    // an empty queue), which varies with thread interleaving.
+    if (duplicate) {
+      world_->stat_duplicates.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (reorder) {
+      world_->stat_reorders.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool held = extra_delay_ns > 0;
+
   Mailbox& mb = *world_->mailboxes[static_cast<std::size_t>(dest)];
   std::lock_guard<std::mutex> g(mb.mu);
-  // Non-overtaking: only match the *first* posted receive for (src,tag).
-  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
-    if (it->src == rank_ && it->tag == tag) {
-      TDG_CHECK(it->bytes >= bytes, "isend: receive buffer too small");
-      std::memcpy(it->buf, buf, bytes);
-      it->rreq->done.store(true, std::memory_order_release);
-      mb.posted.erase(it);
-      sreq->done.store(true, std::memory_order_release);
-      ++stats_.eager_sends;  // direct copy: counts as eager completion
-      return Request(std::move(sreq));
+  if (!held) {
+    // Non-overtaking: only match the *first* posted receive for (src,tag),
+    // and only if no earlier message of this stream is still queued (a
+    // held message must not be overtaken by this one).
+    bool stream_queued = false;
+    for (const Message& q : mb.unexpected) {
+      if (q.src == rank_ && q.tag == tag) {
+        stream_queued = true;
+        break;
+      }
+    }
+    if (!stream_queued) {
+      for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+        if (it->src == rank_ && it->tag == tag) {
+          TDG_REQUIRE(it->bytes >= bytes,
+                      "isend: receive buffer too small");
+          std::memcpy(it->buf, buf, bytes);
+          it->rreq->done.store(true, std::memory_order_release);
+          mb.posted.erase(it);
+          sreq->done.store(true, std::memory_order_release);
+          // direct copy: counts as eager completion
+          counters_.eager_sends.fetch_add(1, std::memory_order_relaxed);
+          return Request(std::move(sreq));
+        }
+      }
     }
   }
   Message m;
   m.src = rank_;
   m.tag = tag;
   m.bytes = bytes;
+  if (held) {
+    m.deliver_at_ns = now_ns() + extra_delay_ns;
+    m.delayed = true;
+    world_->delayed_count.fetch_add(1, std::memory_order_acq_rel);
+  }
   if (bytes <= world_->eager_threshold) {
     m.staged.resize(bytes);
     std::memcpy(m.staged.data(), buf, bytes);
     sreq->done.store(true, std::memory_order_release);
-    ++stats_.eager_sends;
+    counters_.eager_sends.fetch_add(1, std::memory_order_relaxed);
   } else {
     m.src_buf = buf;
     m.sreq = sreq;
-    ++stats_.rendezvous_sends;
+    counters_.rendezvous_sends.fetch_add(1, std::memory_order_relaxed);
   }
-  mb.unexpected.push_back(std::move(m));
+  if (duplicate) {
+    // Duplicate delivery fault: a second copy of the staged payload that
+    // completes no request, but can satisfy a later same-(src,tag) receive
+    // with stale data. Only meaningful for eager messages.
+    Message dup;
+    dup.src = m.src;
+    dup.tag = m.tag;
+    dup.bytes = m.bytes;
+    dup.staged = m.staged;
+    dup.deliver_at_ns = m.deliver_at_ns;
+    dup.delayed = m.delayed;
+    if (dup.delayed) {
+      world_->delayed_count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    mb.unexpected.push_back(std::move(dup));
+  }
+  if (reorder && !mb.unexpected.empty() &&
+      (mb.unexpected.back().src != rank_ ||
+       mb.unexpected.back().tag != tag)) {
+    // Reordering fault: jump ahead of the most recently queued message of
+    // a different stream (per-stream non-overtaking stays intact).
+    mb.unexpected.insert(mb.unexpected.end() - 1, std::move(m));
+  } else {
+    mb.unexpected.push_back(std::move(m));
+  }
   return Request(std::move(sreq));
 }
 
 Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
-  TDG_CHECK(src >= 0 && src < world_->nranks, "irecv: bad source");
-  ++stats_.recvs;
+  TDG_REQUIRE(src >= 0 && src < world_->nranks, "irecv: bad source");
+  counters_.recvs.fetch_add(1, std::memory_order_relaxed);
   auto rreq = std::make_shared<ReqState>();
+  rreq->kind = ReqKind::Recv;
+  rreq->peer = src;
+  rreq->tag = tag;
+  rreq->bytes = bytes;
+  rreq->world = world_;
+  rreq->progress_rank = rank_;  // matching happens in our own mailbox
   Mailbox& mb = *world_->mailboxes[static_cast<std::size_t>(rank_)];
   std::lock_guard<std::mutex> g(mb.mu);
+  const std::uint64_t now = now_ns();
   for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
-    if (it->src == src && it->tag == tag) {
-      TDG_CHECK(bytes >= it->bytes, "irecv: receive buffer too small");
-      if (it->src_buf != nullptr) {  // rendezvous: copy + release sender
-        std::memcpy(buf, it->src_buf, it->bytes);
-        it->sreq->done.store(true, std::memory_order_release);
-      } else {
-        std::memcpy(buf, it->staged.data(), it->bytes);
-      }
-      mb.unexpected.erase(it);
-      rreq->done.store(true, std::memory_order_release);
-      return Request(std::move(rreq));
-    }
+    if (it->src != src || it->tag != tag) continue;
+    if (it->deliver_at_ns > now) break;  // held: deliver later via progress
+    TDG_REQUIRE(bytes >= it->bytes, "irecv: receive buffer too small");
+    PostedRecv p{src, tag, bytes, buf, rreq};
+    world_->deliver(p, *it);
+    mb.unexpected.erase(it);
+    return Request(std::move(rreq));
   }
   mb.posted.push_back(PostedRecv{src, tag, bytes, buf, rreq});
   return Request(std::move(rreq));
@@ -146,9 +370,11 @@ Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
 
 Request Comm::iallreduce(const double* sendbuf, double* recvbuf,
                          std::size_t count, Op op) {
-  ++stats_.allreduces;
+  counters_.allreduces.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t slot_id = coll_seq_++;
   auto req = std::make_shared<ReqState>();
+  req->kind = ReqKind::Collective;
+  req->bytes = count * sizeof(double);
   std::lock_guard<std::mutex> g(world_->coll_mu);
   detail::CollectiveSlot& slot = world_->collectives[slot_id];
   if (slot.contributed == 0) {
@@ -156,8 +382,8 @@ Request Comm::iallreduce(const double* sendbuf, double* recvbuf,
     slot.count = count;
     slot.by_rank.resize(static_cast<std::size_t>(world_->nranks));
   } else {
-    TDG_CHECK(slot.count == count && slot.op == op,
-              "iallreduce: mismatched count/op across ranks");
+    TDG_REQUIRE(slot.count == count && slot.op == op,
+                "iallreduce: mismatched count/op across ranks");
   }
   slot.by_rank[static_cast<std::size_t>(rank_)].assign(sendbuf,
                                                        sendbuf + count);
@@ -186,6 +412,10 @@ void Comm::barrier() {
 }
 
 void Comm::wait(const Request& r) const {
+  if (world_->default_wait_deadline > 0.0) {
+    wait_for(r, world_->default_wait_deadline);
+    return;
+  }
   while (!r.done()) std::this_thread::yield();
 }
 
@@ -193,25 +423,87 @@ void Comm::waitall(const std::vector<Request>& rs) const {
   for (const Request& r : rs) wait(r);
 }
 
+void Comm::wait_for(const Request& r, double deadline_seconds) const {
+  const double t0 = now_seconds();
+  while (!r.done()) {
+    if (now_seconds() - t0 >= deadline_seconds) {
+      char head[96];
+      std::snprintf(head, sizeof head,
+                    "Comm::wait_for: rank %d exceeded %.3fs deadline on ",
+                    rank_, deadline_seconds);
+      throw DeadlineError(std::string(head) + r.describe());
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Comm::waitall_for(const std::vector<Request>& rs,
+                       double deadline_seconds) const {
+  const double t0 = now_seconds();
+  for (const Request& r : rs) {
+    while (!r.done()) {
+      if (now_seconds() - t0 >= deadline_seconds) {
+        std::string msg =
+            "Comm::waitall_for: rank " + std::to_string(rank_) +
+            " exceeded " + std::to_string(deadline_seconds) +
+            "s deadline; pending:";
+        for (const Request& p : rs) {
+          if (!p.done()) msg += "\n  " + p.describe();
+        }
+        throw DeadlineError(std::move(msg));
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+FaultStats Comm::fault_stats() const {
+  FaultStats s;
+  s.delays = world_->stat_delays.load(std::memory_order_relaxed);
+  s.duplicates = world_->stat_duplicates.load(std::memory_order_relaxed);
+  s.reorders = world_->stat_reorders.load(std::memory_order_relaxed);
+  s.straggler_delays =
+      world_->stat_straggler_delays.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Universe
+// ---------------------------------------------------------------------------
+
 void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
                    Options opts) {
-  TDG_CHECK(nranks > 0, "Universe requires at least one rank");
+  TDG_REQUIRE(nranks > 0, "Universe requires at least one rank");
   detail::World world;
   world.nranks = nranks;
   world.eager_threshold = opts.eager_threshold;
+  world.default_wait_deadline = opts.default_wait_deadline_seconds;
+  world.faults = opts.faults;
+  world.faults_active = opts.faults.active();
+  world.fault_seq.assign(static_cast<std::size_t>(nranks), 0);
   world.mailboxes.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     world.mailboxes.push_back(std::make_unique<Mailbox>());
   }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &fn, r] {
-      Comm comm(world, r);
-      fn(comm);
+    threads.emplace_back([&world, &fn, &errors, r] {
+      try {
+        Comm comm(world, r);
+        fn(comm);
+      } catch (...) {
+        // Captured, not terminated: rethrown on the joining thread below
+        // so distributed tests can assert on per-rank failures.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
     });
   }
   for (auto& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 }  // namespace tdg::mpi

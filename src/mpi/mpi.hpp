@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace tdg::mpi {
@@ -23,10 +24,21 @@ namespace tdg::mpi {
 enum class Op { Min, Max, Sum };
 
 namespace detail {
+/// Operation kind, for diagnostics.
+enum class ReqKind : std::uint8_t { None, Send, Recv, Collective };
+struct World;
 struct ReqState {
   std::atomic<bool> done{false};
+  // Diagnostic metadata (written once at post time, before the request
+  // handle escapes) and the mailbox progress is driven through when
+  // fault-injected delays are in flight.
+  ReqKind kind = ReqKind::None;
+  int peer = -1;   ///< dest for sends, src for recvs
+  int tag = -1;
+  std::size_t bytes = 0;
+  World* world = nullptr;
+  int progress_rank = -1;  ///< mailbox to progress while polling (-1: none)
 };
-struct World;
 }  // namespace detail
 
 /// Handle to a nonblocking operation. Copyable; all copies observe the same
@@ -36,11 +48,12 @@ class Request {
   Request() = default;
   bool valid() const { return state_ != nullptr; }
   /// True once the operation has completed (buffer reusable / data
-  /// delivered). Does not block.
-  bool done() const {
-    return state_ == nullptr ||
-           state_->done.load(std::memory_order_acquire);
-  }
+  /// delivered). Does not block. When a fault plan holds delayed messages,
+  /// polling also drives delivery of any that have become due.
+  bool done() const;
+  /// Human-readable description of the operation, e.g.
+  /// "irecv src=1 tag=7 bytes=8" (watchdog / DeadlineError diagnostics).
+  std::string describe() const;
 
  private:
   friend class Comm;
@@ -49,7 +62,51 @@ class Request {
   std::shared_ptr<detail::ReqState> state_;
 };
 
+/// Deterministic fault injection (Universe::Options::faults): a seeded
+/// plan perturbing message delivery so retry / timeout / cancellation
+/// paths are testable without real hardware faults. All decisions are
+/// drawn from a per-sender-rank counter-based RNG, so a given (seed, rank,
+/// send-sequence) triple always yields the same faults regardless of
+/// thread interleaving. Collectives are never perturbed.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Probability that a point-to-point message is held for
+  /// `delay_seconds` before it becomes matchable at the receiver.
+  double delay_probability = 0.0;
+  double delay_seconds = 0.0;
+  /// Probability that an eager message is delivered twice (the duplicate
+  /// can satisfy a later same-(src,tag) receive with stale data).
+  double duplicate_probability = 0.0;
+  /// Probability that a message is enqueued ahead of the previously
+  /// queued message from a *different* (src, tag) stream (per-stream
+  /// non-overtaking is preserved, as MPI guarantees).
+  double reorder_probability = 0.0;
+  /// Every message sent by these ranks is additionally delayed by
+  /// `straggler_delay_seconds` (models a slow node).
+  std::vector<int> straggler_ranks;
+  double straggler_delay_seconds = 0.0;
+
+  bool active() const {
+    return delay_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 ||
+           (!straggler_ranks.empty() && straggler_delay_seconds > 0.0);
+  }
+};
+
+/// Counters of fault *decisions* drawn (whole universe, read after
+/// quiescence). Deterministic for a given seed and send sequence; whether
+/// a drawn duplicate/reorder is physically applied can additionally
+/// depend on mailbox state at send time.
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t straggler_delays = 0;
+};
+
 /// Traffic counters for one rank (communication-profiling substrate).
+/// Snapshot type; the live counters are relaxed atomics because tasks on
+/// any worker thread of the rank's runtime may post operations.
 struct CommStats {
   std::uint64_t sends = 0;
   std::uint64_t recvs = 0;
@@ -94,20 +151,50 @@ class Comm {
 
   /// Thread-safe completion probe (MPI_Test).
   static bool test(const Request& r) { return r.done(); }
-  /// Spin-wait with yield (MPI_Wait).
+  /// Spin-wait with yield (MPI_Wait). If the universe sets a default wait
+  /// deadline, behaves as wait_for with that deadline (hang watchdog).
   void wait(const Request& r) const;
   void waitall(const std::vector<Request>& rs) const;
 
-  const CommStats& stats() const { return stats_; }
+  /// Deadline-aware waits: spin until the request completes or
+  /// `deadline_seconds` elapse, then throw tdg::DeadlineError whose report
+  /// names the pending operation — e.g. "irecv src=1 tag=7 bytes=8" for a
+  /// never-matched receive.
+  void wait_for(const Request& r, double deadline_seconds) const;
+  void waitall_for(const std::vector<Request>& rs,
+                   double deadline_seconds) const;
+
+  CommStats stats() const {
+    CommStats s;
+    s.sends = counters_.sends.load(std::memory_order_relaxed);
+    s.recvs = counters_.recvs.load(std::memory_order_relaxed);
+    s.eager_sends = counters_.eager_sends.load(std::memory_order_relaxed);
+    s.rendezvous_sends =
+        counters_.rendezvous_sends.load(std::memory_order_relaxed);
+    s.bytes_sent = counters_.bytes_sent.load(std::memory_order_relaxed);
+    s.allreduces = counters_.allreduces.load(std::memory_order_relaxed);
+    return s;
+  }
+  /// Universe-wide injected-fault counters (see Options::faults).
+  FaultStats fault_stats() const;
 
  private:
   friend class Universe;
   Comm(detail::World& world, int rank) : world_(&world), rank_(rank) {}
 
+  struct Counters {
+    std::atomic<std::uint64_t> sends{0};
+    std::atomic<std::uint64_t> recvs{0};
+    std::atomic<std::uint64_t> eager_sends{0};
+    std::atomic<std::uint64_t> rendezvous_sends{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> allreduces{0};
+  };
+
   detail::World* world_;
   int rank_;
   std::uint64_t coll_seq_ = 0;
-  CommStats stats_;
+  Counters counters_;
 };
 
 /// A set of ranks running as threads of this process.
@@ -115,9 +202,18 @@ class Universe {
  public:
   struct Options {
     std::size_t eager_threshold = 8 * 1024;  ///< bytes
+    /// Deterministic fault injection (delays / duplicates / reordering /
+    /// stragglers); inactive by default.
+    FaultPlan faults;
+    /// When > 0, plain Comm::wait/waitall throw tdg::DeadlineError after
+    /// this many seconds without completion (0 = wait forever).
+    double default_wait_deadline_seconds = 0.0;
   };
 
-  /// Spawn `nranks` threads, run `fn(comm)` on each, join.
+  /// Spawn `nranks` threads, run `fn(comm)` on each, join. If rank
+  /// functions throw, the exception of the lowest-numbered failing rank is
+  /// rethrown on the joining thread after every rank has exited, so
+  /// distributed tests can assert on failures instead of terminating.
   static void run(int nranks, const std::function<void(Comm&)>& fn,
                   Options opts);
   static void run(int nranks, const std::function<void(Comm&)>& fn) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "core/tdg.hpp"
@@ -149,6 +150,42 @@ TEST(Interop, PersistentRegionWithCommunications) {
     // After each iteration both values become equal, then double.
     // it 0: v0' = 0+1 = 1, v1' = 1+0 = 1; thereafter doubling.
     EXPECT_EQ(value, 1.0 * (1 << (kIters - 1)));
+  });
+}
+
+TEST(Interop, SecondPollerSurvivesFirstPollerDestruction) {
+  // Regression: ~RequestPoller used to clear the runtime's polling hook
+  // unconditionally, so destroying an older poller silently disabled a
+  // newer one — requests tracked by the survivor were never polled again
+  // and their detach events never fulfilled (a hang). The token-based
+  // uninstall only clears the hook if it is still the destructor's own.
+  Universe::run(2, [](Comm& comm) {
+    Runtime rt({.num_threads = 2});
+    const int peer = 1 - comm.rank();
+    auto first = std::make_unique<RequestPoller>(rt);
+    auto second = std::make_unique<RequestPoller>(rt);
+    // `second` installed last: it owns the hook. Destroying `first` must
+    // leave it in place.
+    first.reset();
+
+    double out = comm.rank() + 0.5, in = -1;
+    Event* sev = rt.create_event();
+    rt.submit(
+        [&, sev] {
+          second->complete_on_event(comm.isend(&out, sizeof out, peer, 0),
+                                    sev);
+        },
+        {Depend::in(&out)}, {.detach = sev});
+    Event* rev = rt.create_event();
+    rt.submit(
+        [&, rev] {
+          second->complete_on_event(comm.irecv(&in, sizeof in, peer, 0),
+                                    rev);
+        },
+        {Depend::out(&in)}, {.detach = rev});
+    rt.taskwait();  // hangs here if the surviving poller lost its hook
+    EXPECT_EQ(in, peer + 0.5);
+    EXPECT_EQ(second->pending(), 0u);
   });
 }
 
