@@ -81,9 +81,19 @@ void run_config(bool optimized) {
       it->second.second = std::max(it->second.second, rec.end);
     }
   }
+  // Discovery counters of the traced rank's graph: what the optimizations
+  // actually did during graph construction.
+  const SimGraph& g = graphs[static_cast<std::size_t>(kTraceRank)];
   std::printf("\noptimizations %s (%zu records -> %s):\n",
               optimized ? "enabled" : "disabled", trace.size(),
               file.c_str());
+  std::printf(
+      "discovery: %zu tasks, %llu edges, %llu duplicate edges eliminated, "
+      "%llu redirect nodes inserted\n",
+      g.tasks.size(),
+      static_cast<unsigned long long>(g.structural_edges()),
+      static_cast<unsigned long long>(g.duplicate_edges_skipped),
+      static_cast<unsigned long long>(g.redirect_nodes));
   row({"iteration", "first_start(s)", "last_end(s)", "overlaps_next"}, 16);
   for (auto it = window.begin(); it != window.end(); ++it) {
     auto next = std::next(it);

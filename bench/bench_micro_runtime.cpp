@@ -145,6 +145,29 @@ void BM_InOutSetFanIn(benchmark::State& state) {
 }
 BENCHMARK(BM_InOutSetFanIn)->Arg(0)->Arg(1);
 
+void BM_MetricsOverheadDiscovery(benchmark::State& state) {
+  // Cost of the unified metrics on the discovery hot path: the same chain
+  // workload as BM_SubmitChain, metrics disabled (Arg 0) vs enabled
+  // (Arg 1). The acceptance target is < 5% throughput difference.
+  int x = 0;
+  const bool metrics = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime::Config cfg = solo();
+    cfg.metrics = metrics;
+    Runtime rt(cfg);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      rt.submit([] {}, {Depend::inout(&x)});
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MetricsOverheadDiscovery)->Arg(0)->Arg(1);
+
 void BM_DetachFulfill(benchmark::State& state) {
   Runtime rt({.num_threads = 1});
   for (auto _ : state) {

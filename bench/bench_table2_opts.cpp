@@ -85,7 +85,8 @@ void real_runtime_section() {
   app.tpl = 256;
 
   header("Table 2 (real runtime on this host, npoints=32768, TPL=256, 8 it)");
-  row({"optimizations", "edges", "dup-skipped", "pruned", "wall(s)"}, 16);
+  row({"optimizations", "edges", "dup-skipped", "redirects", "pruned",
+       "wall(s)"}, 14);
   for (const Combo& c : kCombos) {
     Runtime::Config rc;
     rc.num_threads = 2;  // this machine exposes a single core
@@ -100,8 +101,9 @@ void real_runtime_section() {
     const double wall = tdg::now_seconds() - t0;
     const auto s = rt.stats();
     row({c.name, fmt_u(s.discovery.edges_created),
-         fmt_u(s.discovery.edges_duplicate), fmt_u(s.discovery.edges_pruned),
-         fmt(wall, 3)}, 16);
+         fmt_u(s.discovery.edges_duplicate),
+         fmt_u(s.discovery.redirect_nodes),
+         fmt_u(s.discovery.edges_pruned), fmt(wall, 3)}, 14);
   }
 }
 

@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.tasks_created),
               static_cast<unsigned long long>(s.discovery.edges_created +
                                               s.discovery.edges_pruned));
+  std::printf("discovery: %llu duplicate edges eliminated, %llu redirect "
+              "nodes inserted\n",
+              static_cast<unsigned long long>(s.discovery.edges_duplicate),
+              static_cast<unsigned long long>(s.discovery.redirect_nodes));
   std::printf("kernel count check: %llu expected\n",
               static_cast<unsigned long long>(chol::kernel_count(cfg.nt)));
   std::printf("max |L L^T - A| = %.3e\n", a.reconstruction_error(orig));

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability layer: build, run an example
+# with TDG_TRACE=perfetto + TDG_METRICS=dump, validate that the emitted
+# trace is well-formed JSON (python3, when available), then run the
+# tdg-trace CLI (summary / critpath / export round-trip) on it.
+#
+# Usage: scripts/ci_trace_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+dir=${1:-build}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "=== [trace-smoke] configure ($dir) ==="
+cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+echo "=== [trace-smoke] build ==="
+cmake --build "$dir" -j "$jobs" --target cholesky_demo tdg-trace
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+trace="$workdir/trace.json"
+
+echo "=== [trace-smoke] run cholesky_demo with TDG_TRACE=perfetto ==="
+(cd "$workdir" && TDG_TRACE=perfetto TDG_TRACE_FILE="$trace" \
+    TDG_METRICS=dump "$OLDPWD/$dir/examples/cholesky_demo" 8 32)
+[ -s "$trace" ] || { echo "trace file was not written" >&2; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== [trace-smoke] validate trace JSON ==="
+  python3 - "$trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+slices = [e for e in events if e.get("ph") == "X"]
+assert slices, "no task slices in trace"
+assert any(e.get("ph") == "M" for e in events), "no metadata events"
+assert any(e.get("ph") == "s" for e in events), "no flow events"
+for s in slices:
+    assert "ts" in s and "dur" in s and "name" in s, f"malformed slice: {s}"
+print(f"trace ok: {len(events)} events, {len(slices)} task slices")
+EOF
+else
+  echo "=== [trace-smoke] python3 not found; skipping JSON validation ==="
+fi
+
+echo "=== [trace-smoke] tdg-trace summary ==="
+"$dir/tools/tdg-trace" summary "$trace"
+
+echo "=== [trace-smoke] tdg-trace critpath ==="
+"$dir/tools/tdg-trace" critpath "$trace" -n 5
+
+echo "=== [trace-smoke] tdg-trace export round-trip ==="
+"$dir/tools/tdg-trace" export "$trace" --format tsv -o "$workdir/trace.tsv"
+"$dir/tools/tdg-trace" summary "$workdir/trace.tsv" >/dev/null
+"$dir/tools/tdg-trace" export "$workdir/trace.tsv" -o "$workdir/back.json"
+"$dir/tools/tdg-trace" critpath "$workdir/back.json" -n 1 >/dev/null
+
+echo "=== trace smoke passed ==="

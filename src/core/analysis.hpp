@@ -1,0 +1,71 @@
+// Post-mortem analysis over an executed TDG trace: critical-path
+// extraction, parallelism profiling, and a discovery-vs-execution overlap
+// metric. All functions are pure — they consume the TaskRecord/TraceEdge
+// streams of the profiler (or a parsed trace file) and allocate their own
+// results, so benches, tests and the tdg-trace CLI share one code path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace tdg {
+
+/// One task on the critical path.
+struct CriticalPathNode {
+  std::uint64_t task_id = 0;
+  std::string label;
+  std::uint64_t t_start = 0;
+  std::uint64_t t_end = 0;
+
+  double seconds() const {
+    return static_cast<double>(t_end - t_start) * 1e-9;
+  }
+};
+
+/// The longest (by summed body duration) dependence chain of an executed
+/// TDG, i.e. the lower bound on makespan at infinite parallelism.
+struct CriticalPath {
+  std::vector<CriticalPathNode> nodes;  ///< in execution order
+  double length_seconds = 0;  ///< sum of node durations along the path
+  double span_seconds = 0;    ///< wall span of the whole trace
+  /// Per-label seconds contributed to the path, descending.
+  std::vector<std::pair<std::string, double>> label_seconds;
+
+  /// span / length: an upper bound on achievable speedup relative to the
+  /// observed schedule (1.0 = execution was critical-path bound).
+  double slack_ratio() const {
+    return length_seconds > 0 ? span_seconds / length_seconds : 0.0;
+  }
+};
+
+/// Compute the critical path. Edges whose endpoints have no record are
+/// ignored; a cyclic edge set (malformed input) throws tdg::UsageError.
+CriticalPath critical_path(std::span<const TaskRecord> records,
+                           std::span<const TraceEdge> edges);
+
+/// Concurrency histogram over time: how long exactly k task bodies ran
+/// simultaneously.
+struct ParallelismProfile {
+  double span_seconds = 0;  ///< first start to last end
+  double busy_seconds = 0;  ///< time with >= 1 body running
+  double avg_concurrency = 0;  ///< time-weighted mean over the span
+  std::uint32_t max_concurrency = 0;
+  /// seconds_at[k] = seconds during which exactly k bodies were running
+  /// (index 0 = gaps inside the span).
+  std::vector<double> seconds_at;
+};
+
+ParallelismProfile parallelism_profile(std::span<const TaskRecord> records);
+
+/// Fraction of the discovery window (first to last task creation) during
+/// which at least one task body was executing — the paper's
+/// discovery/execution overlap, computed from the trace alone. Returns 0
+/// for traces with fewer than two records or a zero-width window.
+double discovery_execution_overlap(std::span<const TaskRecord> records);
+
+}  // namespace tdg

@@ -1,0 +1,219 @@
+#include "core/metrics.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace tdg {
+
+MetricsEnvMode metrics_env_mode() {
+  const char* v = std::getenv("TDG_METRICS");
+  if (v == nullptr || *v == '\0') return MetricsEnvMode::Default;
+  if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+      std::strcmp(v, "false") == 0) {
+    return MetricsEnvMode::Off;
+  }
+  if (std::strcmp(v, "dump") == 0) return MetricsEnvMode::Dump;
+  return MetricsEnvMode::On;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(unsigned nshards, bool enabled)
+    : enabled_(enabled), shards_(nshards > 0 ? nshards : 1) {
+  for (auto& sh : shards_) {
+    sh.slots = std::make_unique<std::atomic<std::uint64_t>[]>(kMaxSlots);
+    for (std::uint32_t i = 0; i < kMaxSlots; ++i) {
+      sh.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry::Id MetricsRegistry::register_metric(std::string_view name,
+                                                     MetricKind kind,
+                                                     std::uint32_t nslots) {
+  SpinGuard g(reg_lock_);
+  for (const Info& info : infos_) {
+    if (info.name == name) {
+      TDG_REQUIRE(info.kind == kind,
+                  "metric re-registered with a different kind");
+      return Id{info.slot};
+    }
+  }
+  TDG_REQUIRE(next_slot_ + nslots <= kMaxSlots,
+              "metrics registry slot budget exhausted");
+  Info info{std::string(name), kind, next_slot_, nslots};
+  next_slot_ += nslots;
+  infos_.push_back(std::move(info));
+  return Id{infos_.back().slot};
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+  return register_metric(name, MetricKind::Counter, 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+  return register_metric(name, MetricKind::Gauge, 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name) {
+  return register_metric(name, MetricKind::Histogram, kHistBuckets + 1);
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  SpinGuard g(reg_lock_);
+  return infos_.size();
+}
+
+std::size_t MetricsRegistry::slots_used() const {
+  SpinGuard g(reg_lock_);
+  return next_slot_;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::vector<Info> infos;
+  {
+    SpinGuard g(reg_lock_);
+    infos = infos_;
+  }
+  MetricsSnapshot snap;
+  snap.taken_ns = now_ns();
+  snap.entries.reserve(infos.size());
+  for (const Info& info : infos) {
+    MetricsSnapshot::Entry e;
+    e.name = info.name;
+    e.kind = info.kind;
+    auto sum_slot = [this](std::uint32_t s) {
+      std::uint64_t total = 0;
+      for (const Shard& sh : shards_) {
+        total += sh.slots[s].load(std::memory_order_relaxed);
+      }
+      return total;
+    };
+    switch (info.kind) {
+      case MetricKind::Counter:
+        e.value = sum_slot(info.slot);
+        break;
+      case MetricKind::Gauge:
+        // Negative contributions wrap per-shard; the two's-complement sum
+        // across shards is the true level.
+        e.level = static_cast<std::int64_t>(sum_slot(info.slot));
+        break;
+      case MetricKind::Histogram: {
+        e.buckets.resize(kHistBuckets);
+        for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+          e.buckets[b] = sum_slot(info.slot + b);
+          e.value += e.buckets[b];
+        }
+        e.sum = sum_slot(info.slot + kHistBuckets);
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    std::string_view name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->value : 0;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& newer,
+                                       const MetricsSnapshot& older) {
+  MetricsSnapshot d;
+  d.taken_ns = newer.taken_ns;
+  d.entries.reserve(newer.entries.size());
+  for (const Entry& n : newer.entries) {
+    Entry e = n;
+    if (const Entry* o = older.find(n.name); o != nullptr) {
+      e.value -= o->value;
+      e.level -= o->level;
+      e.sum -= o->sum;
+      for (std::size_t b = 0;
+           b < e.buckets.size() && b < o->buckets.size(); ++b) {
+        e.buckets[b] -= o->buckets[b];
+      }
+    }
+    d.entries.push_back(std::move(e));
+  }
+  return d;
+}
+
+void MetricsSnapshot::write_text(std::ostream& os, bool nonzero_only) const {
+  for (const Entry& e : entries) {
+    if (nonzero_only && e.value == 0 && e.level == 0) continue;
+    os << "  " << e.name;
+    for (std::size_t pad = e.name.size(); pad < 32; ++pad) os << ' ';
+    switch (e.kind) {
+      case MetricKind::Counter:
+        os << e.value;
+        break;
+      case MetricKind::Gauge:
+        os << e.level;
+        break;
+      case MetricKind::Histogram: {
+        os << "count=" << e.value << " mean=" << e.mean();
+        os << " buckets=[";
+        bool first = true;
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          if (e.buckets[b] == 0) continue;
+          if (!first) os << ' ';
+          first = false;
+          os << b << ':' << e.buckets[b];
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\"taken_ns\":" << taken_ns << ",\"metrics\":{";
+  bool first_entry = true;
+  for (const Entry& e : entries) {
+    if (!first_entry) os << ',';
+    first_entry = false;
+    os << '"' << e.name << "\":{";
+    switch (e.kind) {
+      case MetricKind::Counter:
+        os << "\"kind\":\"counter\",\"value\":" << e.value;
+        break;
+      case MetricKind::Gauge:
+        os << "\"kind\":\"gauge\",\"level\":" << e.level;
+        break;
+      case MetricKind::Histogram: {
+        os << "\"kind\":\"histogram\",\"count\":" << e.value
+           << ",\"sum\":" << e.sum << ",\"buckets\":[";
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          if (b != 0) os << ',';
+          os << e.buckets[b];
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "}}";
+}
+
+}  // namespace tdg

@@ -1,0 +1,174 @@
+// Unified metrics registry for the tdg runtime (counters, gauges, log2
+// histograms), replacing the scattered ad-hoc counters with one namespace
+// that discovery, scheduling, persistent replay and the MPI layer all
+// write into.
+//
+// Design: writes are lock-free relaxed atomic adds into per-thread shards
+// (cache-line aligned, one slot array per shard), so the hot path costs a
+// branch on the enabled flag plus one uncontended fetch_add. Slots are
+// pre-allocated at construction (kMaxSlots per shard) and never
+// reallocated, so metrics may be registered while workers are running —
+// registration only bumps a cursor under a spin lock. Reads (snapshot)
+// sum across shards; they are racy-by-design against concurrent writers,
+// which is fine for monitoring.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/// `TDG_METRICS` environment switch: `off`/`0`/`false` disables collection,
+/// `dump` additionally emits a text report on Runtime/Universe teardown,
+/// anything else (including unset) leaves the Config default in charge.
+enum class MetricsEnvMode { Default, Off, On, Dump };
+MetricsEnvMode metrics_env_mode();
+
+/// Point-in-time copy of every registered metric, summed across shards.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t value = 0;  ///< counter total / histogram sample count
+    std::int64_t level = 0;   ///< gauge level (delta: change between snaps)
+    std::uint64_t sum = 0;    ///< histogram: sum of observed values
+    /// Histogram: buckets[i] counts samples whose bit width is i, i.e.
+    /// bucket 0 holds zeros and bucket i>=1 holds values in [2^(i-1), 2^i).
+    /// The last bucket absorbs everything wider.
+    std::vector<std::uint64_t> buckets;
+
+    double mean() const {
+      return value > 0 ? static_cast<double>(sum) / static_cast<double>(value)
+                       : 0.0;
+    }
+  };
+
+  std::uint64_t taken_ns = 0;
+  std::vector<Entry> entries;
+
+  const Entry* find(std::string_view name) const;
+  /// Counter/histogram total by name; 0 when absent.
+  std::uint64_t value(std::string_view name) const;
+
+  /// Per-metric difference `newer - older`, matched by name. Metrics
+  /// absent from `older` keep their `newer` values; gauges report the
+  /// level change.
+  static MetricsSnapshot delta(const MetricsSnapshot& newer,
+                               const MetricsSnapshot& older);
+
+  /// Human-readable table. With `nonzero_only`, rows whose value, level
+  /// and histogram count are all zero are skipped (watchdog reports).
+  void write_text(std::ostream& os, bool nonzero_only = false) const;
+  /// JSON object: {"taken_ns": ..., "metrics": {"name": {...}, ...}}.
+  void write_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// log2 buckets per histogram (bit widths 0..kHistBuckets-1, clamped).
+  static constexpr std::uint32_t kHistBuckets = 32;
+  /// Slot budget per shard; a histogram consumes kHistBuckets + 1 slots.
+  static constexpr std::uint32_t kMaxSlots = 256;
+
+  /// Opaque handle to a registered metric. Value-type, cheap to copy; a
+  /// default-constructed id is invalid and all operations on it no-op.
+  struct Id {
+    std::uint32_t slot = UINT32_MAX;
+    bool valid() const { return slot != UINT32_MAX; }
+  };
+
+  explicit MetricsRegistry(unsigned nshards, bool enabled = true);
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric. Re-registering an existing name with
+  /// the same kind returns the same id, so independently-constructed
+  /// components (e.g. successive RequestPollers) share one counter.
+  Id counter(std::string_view name);
+  Id gauge(std::string_view name);
+  Id histogram(std::string_view name);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Increment a counter. `shard` is a routing hint (the caller's thread
+  /// slot); out-of-range hints are folded in.
+  void add(Id id, std::uint64_t v = 1, unsigned shard = 0) {
+    if (!enabled() || !id.valid()) return;
+    slot(shard, id.slot).fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Move a gauge up or down (levels are summed across shards, so
+  /// matched +1/-1 pairs from different threads still cancel).
+  void gauge_add(Id id, std::int64_t v, unsigned shard = 0) {
+    if (!enabled() || !id.valid()) return;
+    slot(shard, id.slot)
+        .fetch_add(static_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  /// Record one histogram sample.
+  void observe(Id id, std::uint64_t value, unsigned shard = 0) {
+    if (!enabled() || !id.valid()) return;
+    slot(shard, id.slot + bucket_of(value))
+        .fetch_add(1, std::memory_order_relaxed);
+    slot(shard, id.slot + kHistBuckets)
+        .fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a sample: its bit width, clamped to the last bucket
+  /// (bucket 0 = zeros, bucket i = [2^(i-1), 2^i)).
+  static std::uint32_t bucket_of(std::uint64_t value) {
+    std::uint32_t w = 0;
+    while (value != 0) {
+      ++w;
+      value >>= 1;
+    }
+    return w < kHistBuckets ? w : kHistBuckets - 1;
+  }
+
+  MetricsSnapshot snapshot() const;
+
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  std::size_t num_metrics() const;
+  std::size_t slots_used() const;
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  };
+  struct Info {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t slot;
+    std::uint32_t nslots;
+  };
+
+  Id register_metric(std::string_view name, MetricKind kind,
+                     std::uint32_t nslots);
+
+  std::atomic<std::uint64_t>& slot(unsigned shard, std::uint32_t s) {
+    return shards_[shard < shards_.size() ? shard : shard % shards_.size()]
+        .slots[s];
+  }
+
+  std::atomic<bool> enabled_;
+  std::vector<Shard> shards_;
+  mutable SpinLock reg_lock_;  // guards infos_ / next_slot_
+  std::vector<Info> infos_;
+  std::uint32_t next_slot_ = 0;
+};
+
+}  // namespace tdg

@@ -77,6 +77,7 @@ void PersistentRegion::end_iteration() {
     }
   }
   rt_.replay_active_ = false;
+  rt_.madd(rt_.m_.iterations);
   ++iterations_done_;
   active_ = false;
   // Rethrow after the region state is consistent: a failed iteration's

@@ -5,17 +5,28 @@
 namespace tdg {
 
 Profiler::Profiler(unsigned nthreads, bool trace_enabled)
-    : trace_enabled_(trace_enabled), acc_(nthreads), trace_(nthreads) {
+    : trace_enabled_(trace_enabled),
+      acc_(std::max(1u, nthreads)),
+      trace_(std::max(1u, nthreads)) {
   for (auto& tb : trace_) tb.records.reserve(1024);
+  edges_.reserve(1024);
 }
 
 void Profiler::record(unsigned thread, const TaskRecord& rec) {
-  if (!trace_enabled_) return;
-  trace_[thread].records.push_back(rec);
+  if (!trace_enabled()) return;
+  trace_[clamp_slot(thread)].records.push_back(rec);
+}
+
+void Profiler::record_edge(std::uint64_t pred, std::uint64_t succ) {
+  if (!trace_enabled()) return;
+  edges_.push_back(TraceEdge{pred, succ});
 }
 
 Breakdown Profiler::breakdown() const {
   Breakdown b;
+  // Sized from the accumulators at call time, not from a cached width, so
+  // a reset(nthreads) between arming and reading cannot leave per_thread
+  // stale relative to acc_.
   b.per_thread.resize(acc_.size());
   for (std::size_t i = 0; i < acc_.size(); ++i) {
     b.per_thread[i].work =
@@ -72,6 +83,19 @@ void Profiler::reset() {
     a.idle_ns.store(0, std::memory_order_relaxed);
   }
   for (auto& tb : trace_) tb.records.clear();
+  edges_.clear();
+}
+
+void Profiler::reset(unsigned nthreads) {
+  const unsigned n = std::max(1u, nthreads);
+  // Atomics are not movable; build fresh arrays and swap them in. Callers
+  // must be quiescent (documented in the header).
+  std::vector<Accum> acc(n);
+  std::vector<TraceBuf> trace(n);
+  for (auto& tb : trace) tb.records.reserve(1024);
+  acc_.swap(acc);
+  trace_.swap(trace);
+  edges_.clear();
 }
 
 }  // namespace tdg

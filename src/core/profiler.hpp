@@ -27,6 +27,13 @@ struct TaskRecord {
   const char* label = "";
 };
 
+/// One discovered dependence edge, by task id (trace mode only; feeds the
+/// Perfetto flow arrows and the post-mortem critical-path analysis).
+struct TraceEdge {
+  std::uint64_t pred = 0;
+  std::uint64_t succ = 0;
+};
+
 /// Per-thread cumulative time split, in seconds.
 struct ThreadBreakdown {
   double work = 0;
@@ -52,29 +59,47 @@ class Profiler {
  public:
   explicit Profiler(unsigned nthreads, bool trace_enabled = false);
 
-  bool trace_enabled() const { return trace_enabled_; }
-  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+  /// Safe while workers run: the flag is atomic, so toggling mid-flight
+  /// merely starts/stops recording at the next task boundary.
+  void set_trace_enabled(bool on) {
+    trace_enabled_.store(on, std::memory_order_relaxed);
+  }
 
   // --- accumulators, called from worker loops ----------------------------
   // Relaxed atomics: each slot is written by its own thread only, but
   // breakdown() reads them while idle workers are still accumulating.
+  // Thread indices are clamped so a caller holding a slot id from before a
+  // reset(nthreads) shrink cannot write out of bounds.
   void add_work(unsigned thread, std::uint64_t ns) {
-    acc_[thread].work_ns.fetch_add(ns, std::memory_order_relaxed);
+    acc_[clamp_slot(thread)].work_ns.fetch_add(ns,
+                                               std::memory_order_relaxed);
   }
   void add_overhead(unsigned thread, std::uint64_t ns) {
-    acc_[thread].overhead_ns.fetch_add(ns, std::memory_order_relaxed);
+    acc_[clamp_slot(thread)].overhead_ns.fetch_add(
+        ns, std::memory_order_relaxed);
   }
   void add_idle(unsigned thread, std::uint64_t ns) {
-    acc_[thread].idle_ns.fetch_add(ns, std::memory_order_relaxed);
+    acc_[clamp_slot(thread)].idle_ns.fetch_add(ns,
+                                               std::memory_order_relaxed);
   }
 
   /// Record a completed task instance (trace mode only).
   void record(unsigned thread, const TaskRecord& rec);
 
+  /// Record a discovered dependence edge (trace mode only). Called from
+  /// the producer thread only — discovery is sequential — so the edge log
+  /// is unsynchronized; read it post-mortem.
+  void record_edge(std::uint64_t pred, std::uint64_t succ);
+
   // --- post-mortem analysis ----------------------------------------------
   Breakdown breakdown() const;
   /// All records, merged and sorted by start time.
   std::vector<TaskRecord> merged_trace() const;
+  /// Dependence edges logged during discovery (trace mode only).
+  const std::vector<TraceEdge>& edges() const { return edges_; }
 
   /// Write a Gantt-chart-friendly TSV: thread, start_s, end_s, iteration,
   /// label (Fig. 8 input format).
@@ -82,6 +107,9 @@ class Profiler {
 
   /// Reset accumulators and traces (between experiment phases).
   void reset();
+  /// Reset and resize to a new team width. Call only while no worker is
+  /// accumulating (the slot arrays are reallocated).
+  void reset(unsigned nthreads);
 
   unsigned num_threads() const { return static_cast<unsigned>(acc_.size()); }
 
@@ -95,9 +123,15 @@ class Profiler {
     std::vector<TaskRecord> records;
   };
 
-  bool trace_enabled_;
+  unsigned clamp_slot(unsigned thread) const {
+    return thread < acc_.size() ? thread
+                                : static_cast<unsigned>(acc_.size()) - 1;
+  }
+
+  std::atomic<bool> trace_enabled_;
   std::vector<Accum> acc_;
   std::vector<TraceBuf> trace_;
+  std::vector<TraceEdge> edges_;
 };
 
 }  // namespace tdg

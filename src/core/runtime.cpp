@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <sstream>
 
 #include "core/persistent.hpp"
 
@@ -33,6 +35,26 @@ void Event::fulfill() {
 // Construction / teardown
 // ---------------------------------------------------------------------------
 
+void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
+  tasks_submitted = reg.counter("discovery.tasks");
+  internal_nodes = reg.counter("discovery.redirect_nodes");
+  edges_created = reg.counter("discovery.edges_created");
+  edges_duplicate = reg.counter("discovery.edges_duplicate");
+  edges_pruned = reg.counter("discovery.edges_pruned");
+  hash_probes = reg.counter("discovery.hash_probes");
+  spawns = reg.counter("sched.spawns");
+  steals = reg.counter("sched.steals");
+  steal_failures = reg.counter("sched.steal_failures");
+  throttle_stalls = reg.counter("sched.throttle_stalls");
+  ready_depth = reg.gauge("sched.ready_depth");
+  tasks_executed = reg.counter("exec.tasks");
+  body_ns = reg.histogram("exec.body_ns");
+  queue_ns = reg.histogram("exec.queue_ns");
+  replay_tasks = reg.counter("persistent.replay_tasks");
+  replay_bytes = reg.counter("persistent.memcpy_bytes");
+  iterations = reg.counter("persistent.iterations");
+}
+
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       watchdog_(cfg.watchdog),
@@ -42,6 +64,23 @@ Runtime::Runtime(Config cfg)
   unsigned n = cfg_.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   cfg_.num_threads = n;
+  // Environment overrides (see Config::metrics): TDG_METRICS gates
+  // collection, TDG_TRACE force-enables tracing and selects the teardown
+  // export format.
+  bool metrics_on = cfg_.metrics;
+  switch (metrics_env_mode()) {
+    case MetricsEnvMode::Off: metrics_on = false; break;
+    case MetricsEnvMode::On: metrics_on = true; break;
+    case MetricsEnvMode::Dump:
+      metrics_on = true;
+      metrics_dump_ = true;
+      break;
+    case MetricsEnvMode::Default: break;
+  }
+  trace_env_ = trace_env_config();
+  if (trace_env_.mode != TraceMode::Off) cfg_.trace = true;
+  metrics_ = std::make_unique<MetricsRegistry>(n, metrics_on);
+  m_.register_into(*metrics_);
   profiler_ = std::make_unique<Profiler>(n, cfg_.trace);
   deques_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -74,7 +113,54 @@ Runtime::~Runtime() {
   }
   shutdown_.store(true, std::memory_order_release);
   for (auto& w : workers_) w.join();
+  finalize_observability();
   dep_map_.clear();
+}
+
+void Runtime::finalize_observability() {
+  // Trace export (TDG_TRACE): workers have joined, the record stream is
+  // quiescent. Later runtimes in the same process (e.g. one per Universe
+  // rank) get sequence-numbered files so they do not clobber each other.
+  if (trace_env_.mode != TraceMode::Off) {
+    const std::vector<TaskRecord> records = profiler_->merged_trace();
+    if (!records.empty()) {
+      static std::atomic<int> seq{0};
+      const int k = seq.fetch_add(1, std::memory_order_relaxed);
+      const char* ext =
+          trace_env_.mode == TraceMode::Perfetto ? "json" : "tsv";
+      std::string path = trace_env_.path;
+      if (path.empty()) {
+        path = k == 0 ? std::string("tdg_trace.") + ext
+                      : "tdg_trace." + std::to_string(k) + "." + ext;
+      } else if (k > 0) {
+        path += "." + std::to_string(k);
+      }
+      std::ofstream os(path);
+      if (os) {
+        if (trace_env_.mode == TraceMode::Perfetto) {
+          write_perfetto(os, records, profiler_->edges());
+        } else {
+          write_trace_tsv(os, records);
+        }
+        std::fprintf(stderr,
+                     "tdg: trace written to %s (%zu records, %zu edges)\n",
+                     path.c_str(), records.size(),
+                     profiler_->edges().size());
+      } else {
+        std::fprintf(stderr, "tdg: cannot open trace file %s\n",
+                     path.c_str());
+      }
+    }
+  }
+  if (metrics_dump_ && metrics_->enabled()) {
+    std::string text;
+    {
+      std::ostringstream os;
+      metrics_->snapshot().write_text(os, /*nonzero_only=*/true);
+      text = os.str();
+    }
+    std::fprintf(stderr, "tdg: metrics at teardown:\n%s", text.c_str());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -91,8 +177,10 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
   discovery_end_ns_ = t->t_create;
   if (opts.internal) {
     ++internal_nodes_;
+    madd(m_.internal_nodes);
   } else {
     ++tasks_created_;
+    madd(m_.tasks_submitted);
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
   live_tasks_.fetch_add(1, std::memory_order_relaxed);
@@ -112,6 +200,8 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
 }
 
 void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
+  // Each depend item is one probe of the per-address access history.
+  if (!deps.empty()) madd(m_.hash_probes, deps.size());
   dep_map_.apply(t, deps, cfg_.discovery);
   discovery_end_ns_ = now_ns();
   // Drop the discovery guard; the task may become ready immediately.
@@ -125,6 +215,7 @@ void Runtime::discover_edge(Task* pred, Task* succ) {
   if (pred == succ) return;  // e.g. in+out on the same address in one clause
   if (cfg_.discovery.dedup_edges && pred->last_successor_id == succ->id()) {
     ++disc_stats_.edges_duplicate;
+    madd(m_.edges_duplicate);
     return;  // optimization (b): O(1) duplicate-edge elimination
   }
   pred->last_successor_id = succ->id();
@@ -138,15 +229,24 @@ void Runtime::discover_edge(Task* pred, Task* succ) {
     case Task::EdgeResult::Created:
       if (discovering_persistent_) ++succ->persistent_indegree;
       ++disc_stats_.edges_created;
+      madd(m_.edges_created);
+      if (profiler_->trace_enabled()) {
+        profiler_->record_edge(pred->id(), succ->id());
+      }
       break;
     case Task::EdgeResult::Recorded:
       succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
       ++succ->persistent_indegree;
       ++disc_stats_.edges_created;
+      madd(m_.edges_created);
+      if (profiler_->trace_enabled()) {
+        profiler_->record_edge(pred->id(), succ->id());
+      }
       break;
     case Task::EdgeResult::Pruned:
       succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
       ++disc_stats_.edges_pruned;
+      madd(m_.edges_pruned);
       break;
   }
 }
@@ -170,6 +270,8 @@ std::uint64_t Runtime::replay_submit_erased(void (*update)(Task*, void*),
                                             void* ctx) {
   Task* t = region_->next_replay_task();
   update(t, ctx);  // the paper's "single memcpy on firstprivate data"
+  madd(m_.replay_tasks);
+  madd(m_.replay_bytes, t->body.capture_bytes());
   t->t_create = now_ns();
   if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
   discovery_end_ns_ = t->t_create;
@@ -199,6 +301,8 @@ void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
     return;
   }
   ready_count_.fetch_add(1, std::memory_order_relaxed);
+  madd(m_.spawns);
+  metrics_->gauge_add(m_.ready_depth, +1, thread_hint);
   // Depth-first heuristic: a newly-ready successor goes to the head of the
   // completing thread's deque so it runs right after its producer, while
   // its data is still cached. Fresh root tasks also go to the head; in
@@ -227,6 +331,12 @@ void Runtime::run_task(Task* t, unsigned thread) {
   }
   const std::uint64_t t_body_end = now_ns();
   profiler_->add_work(thread, t_body_end - t->t_start);
+  if (!t->opts.internal && ok) {
+    metrics_->observe(m_.body_ns, t_body_end - t->t_start, thread);
+    metrics_->observe(
+        m_.queue_ns,
+        t->t_start >= t->t_ready ? t->t_start - t->t_ready : 0, thread);
+  }
   // A failed or cancelled task never posts the operation that would
   // fulfill its detach event; force-fulfill so the latch resolves instead
   // of wedging taskwait (idempotent if the body got far enough to post).
@@ -298,6 +408,7 @@ void Runtime::complete_task(Task* t, unsigned thread) {
   } else {
     t->state.store(TaskState::Finished, std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (!t->opts.internal) metrics_->add(m_.tasks_executed, 1, thread);
   }
   if (profiler_->trace_enabled() && !t->opts.internal) {
     TaskRecord rec;
@@ -332,6 +443,7 @@ bool Runtime::try_execute_one(unsigned slot) {
   WorkDeque& own = *deques_[slot];
   Task* t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
                                                           : own.pop_back();
+  const bool stole = t == nullptr;
   if (t == nullptr) {
     const unsigned n = num_threads();
     for (unsigned k = 1; k < n && t == nullptr; ++k) {
@@ -342,12 +454,16 @@ bool Runtime::try_execute_one(unsigned slot) {
   if (t == nullptr) {
     if (ready_count_.load(std::memory_order_relaxed) > 0) {
       profiler_->add_overhead(slot, t1 - t0);
+      // Work existed somewhere but every probe came up empty.
+      metrics_->add(m_.steal_failures, 1, slot);
     } else {
       profiler_->add_idle(slot, t1 - t0);
     }
     return false;
   }
+  if (stole) metrics_->add(m_.steals, 1, slot);
   ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_->gauge_add(m_.ready_depth, -1, slot);
   profiler_->add_overhead(slot, t1 - t0);
   run_task(t, slot);
   return true;
@@ -377,6 +493,7 @@ void Runtime::taskwait() {
 
 void Runtime::drain() {
   const unsigned slot = current_slot();
+  arm_watchdog_baseline();
   Watchdog::Scope ws(&watchdog_, "taskwait");
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (!try_execute_one(slot)) {
@@ -402,6 +519,12 @@ void Runtime::throw_if_failed() {
 
 void Runtime::throttle(unsigned slot) {
   const auto& th = cfg_.throttle;
+  if (ready_count_.load(std::memory_order_relaxed) <= th.max_ready &&
+      live_tasks_.load(std::memory_order_relaxed) <= th.max_total) {
+    return;  // fast path: no stall, no watchdog arming
+  }
+  madd(m_.throttle_stalls);
+  arm_watchdog_baseline();
   Watchdog::Scope ws(&watchdog_, "throttle");
   while (ready_count_.load(std::memory_order_relaxed) > th.max_ready ||
          live_tasks_.load(std::memory_order_relaxed) > th.max_total) {
@@ -455,9 +578,36 @@ unsigned Runtime::current_slot() const {
   return tls_slot < deques_.size() ? tls_slot : 0u;
 }
 
+void Runtime::arm_watchdog_baseline() {
+  if (!watchdog_.enabled() || !metrics_->enabled()) return;
+  MetricsSnapshot snap = metrics_->snapshot();
+  SpinGuard g(wd_baseline_lock_);
+  wd_baseline_ = std::move(snap);
+  wd_baseline_set_ = true;
+}
+
 void Runtime::runtime_diagnostic(std::string& out) const {
   out += "\n  live tasks: " + std::to_string(live_tasks()) + " (ready " +
          std::to_string(ready_tasks()) + ")";
+  // Counter deltas since the stalled wait was armed: a hang report that
+  // shows "0 steals, 0 completions since arming" pinpoints starvation vs
+  // livelock at a glance.
+  if (metrics_->enabled()) {
+    MetricsSnapshot now = metrics_->snapshot();
+    bool have_baseline = false;
+    {
+      SpinGuard g(wd_baseline_lock_);
+      if (wd_baseline_set_) {
+        now = MetricsSnapshot::delta(now, wd_baseline_);
+        have_baseline = true;
+      }
+    }
+    std::ostringstream os;
+    now.write_text(os, /*nonzero_only=*/true);
+    out += have_baseline ? "\n  metrics delta since arming:\n"
+                         : "\n  metrics:\n";
+    out += os.str();
+  }
   SpinGuard g(events_lock_);
   std::size_t shown = 0;
   for (const auto& ev : events_) {

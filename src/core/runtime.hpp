@@ -19,14 +19,47 @@
 #include "core/common.hpp"
 #include "core/depend.hpp"
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
 #include "core/task.hpp"
+#include "core/trace_export.hpp"
 #include "core/watchdog.hpp"
 
 namespace tdg {
 
 class PersistentRegion;
+
+/// Pre-registered handles into a runtime's metrics registry — the unified
+/// observability namespace covering discovery, scheduling, execution and
+/// persistent replay. MPI-layer components add their own `comm.*` metrics
+/// to the same registry (see mpi/interop.hpp).
+struct RuntimeMetricIds {
+  using Id = MetricsRegistry::Id;
+  // discovery
+  Id tasks_submitted;   ///< counter discovery.tasks
+  Id internal_nodes;    ///< counter discovery.redirect_nodes
+  Id edges_created;     ///< counter discovery.edges_created
+  Id edges_duplicate;   ///< counter discovery.edges_duplicate
+  Id edges_pruned;      ///< counter discovery.edges_pruned
+  Id hash_probes;       ///< counter discovery.hash_probes (depend items)
+  // scheduler
+  Id spawns;            ///< counter sched.spawns (ready enqueues)
+  Id steals;            ///< counter sched.steals
+  Id steal_failures;    ///< counter sched.steal_failures
+  Id throttle_stalls;   ///< counter sched.throttle_stalls
+  Id ready_depth;       ///< gauge   sched.ready_depth
+  // execution
+  Id tasks_executed;    ///< counter exec.tasks
+  Id body_ns;           ///< histogram exec.body_ns
+  Id queue_ns;          ///< histogram exec.queue_ns (ready -> start)
+  // persistent regions
+  Id replay_tasks;      ///< counter persistent.replay_tasks
+  Id replay_bytes;      ///< counter persistent.memcpy_bytes
+  Id iterations;        ///< counter persistent.iterations
+
+  void register_into(MetricsRegistry& reg);
+};
 
 /// Snapshot of runtime counters (graph structure + discovery span).
 struct RuntimeStats {
@@ -65,6 +98,13 @@ class Runtime : public DiscoveryHooks {
     ThrottleConfig throttle;
     WatchdogConfig watchdog;  ///< hang detection; disabled by default
     bool trace = false;  ///< record full task traces (Gantt etc.)
+    /// Collect runtime metrics (counters/gauges/histograms). Compiled in
+    /// either way; this only toggles collection. The TDG_METRICS
+    /// environment variable overrides it: `off` disables, `on`/`dump`
+    /// force-enable (`dump` also prints a report at teardown). TDG_TRACE
+    /// (perfetto|tsv) similarly force-enables `trace` and exports the
+    /// trace to a file when the runtime is destroyed.
+    bool metrics = true;
   };
 
   Runtime() : Runtime(Config{}) {}
@@ -156,6 +196,15 @@ class Runtime : public DiscoveryHooks {
   /// Reset graph counters and the discovery span (not the profiler).
   void reset_stats();
   Profiler& profiler() { return *profiler_; }
+  /// The unified metrics registry (see core/metrics.hpp). Components may
+  /// register additional metrics at any time; snapshot() anywhere.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  /// Handles of the runtime's own metrics (tests / tools).
+  const RuntimeMetricIds& metric_ids() const { return m_; }
+  /// Shard hint for metrics written on behalf of this runtime from the
+  /// calling thread (its worker slot).
+  unsigned metrics_shard() const { return current_slot(); }
   /// The runtime's hang watchdog (configure via Config::watchdog; attach
   /// extra diagnostics, e.g. a RequestPoller's pending-request dump).
   Watchdog& watchdog() { return watchdog_; }
@@ -228,8 +277,25 @@ class Runtime : public DiscoveryHooks {
   void throttle(unsigned thread);
   void poll();
   unsigned current_slot() const;
+  /// Counter increment routed to the calling thread's shard.
+  void madd(MetricsRegistry::Id id, std::uint64_t v = 1) {
+    metrics_->add(id, v, current_slot());
+  }
+  /// Capture the metrics baseline a later watchdog report deltas against.
+  void arm_watchdog_baseline();
+  /// Teardown observability: export the trace (TDG_TRACE) and dump the
+  /// metrics report (TDG_METRICS=dump). Called from the destructor.
+  void finalize_observability();
 
   Config cfg_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  RuntimeMetricIds m_;
+  TraceEnvConfig trace_env_;
+  bool metrics_dump_ = false;
+  /// Baseline snapshot for "counters since arming" watchdog diagnostics.
+  mutable SpinLock wd_baseline_lock_;
+  MetricsSnapshot wd_baseline_;
+  bool wd_baseline_set_ = false;
   std::unique_ptr<Profiler> profiler_;
   Watchdog watchdog_;
   DependencyMap dep_map_;

@@ -8,13 +8,16 @@
 // Persistent Task Sub-Graph extension.
 #pragma once
 
+#include "core/analysis.hpp"
 #include "core/common.hpp"
 #include "core/depend.hpp"
 #include "core/depend_types.hpp"
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 #include "core/persistent.hpp"
 #include "core/profiler.hpp"
 #include "core/runtime.hpp"
 #include "core/scheduler.hpp"
 #include "core/task.hpp"
+#include "core/trace_export.hpp"
 #include "core/watchdog.hpp"

@@ -1,0 +1,538 @@
+#include "core/trace_export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <variant>
+
+#include "core/error.hpp"
+
+namespace tdg {
+
+// ---------------------------------------------------------------------------
+// Environment configuration
+// ---------------------------------------------------------------------------
+
+TraceEnvConfig trace_env_config() {
+  TraceEnvConfig cfg;
+  const char* mode = std::getenv("TDG_TRACE");
+  if (mode != nullptr) {
+    if (std::strcmp(mode, "perfetto") == 0 ||
+        std::strcmp(mode, "json") == 0) {
+      cfg.mode = TraceMode::Perfetto;
+    } else if (std::strcmp(mode, "tsv") == 0) {
+      cfg.mode = TraceMode::Tsv;
+    }
+    // anything else (off, 0, empty, typos) leaves tracing off
+  }
+  if (const char* path = std::getenv("TDG_TRACE_FILE"); path != nullptr) {
+    cfg.path = path;
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void json_escape(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Microseconds (with ns resolution kept as decimals) relative to t0.
+void emit_us(std::ostream& os, std::uint64_t ns, std::uint64_t t0) {
+  const std::uint64_t rel = ns >= t0 ? ns - t0 : 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", rel / 1000,
+                static_cast<unsigned>(rel % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
+                    std::span<const TraceEdge> edges,
+                    const PerfettoOptions& opts) {
+  std::uint64_t t0 = UINT64_MAX;
+  for (const TaskRecord& r : records) t0 = std::min(t0, r.t_create);
+  if (records.empty()) t0 = 0;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: process and per-thread track names.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << opts.pid
+     << ",\"tid\":0,\"args\":{\"name\":";
+  json_escape(os, opts.process_name);
+  os << "}}";
+  std::vector<std::uint32_t> threads;
+  for (const TaskRecord& r : records) {
+    if (std::find(threads.begin(), threads.end(), r.thread) ==
+        threads.end()) {
+      threads.push_back(r.thread);
+    }
+  }
+  std::sort(threads.begin(), threads.end());
+  for (std::uint32_t t : threads) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << opts.pid
+       << ",\"tid\":" << t << ",\"args\":{\"name\":\""
+       << (t == 0 ? "producer/worker 0" : "worker " + std::to_string(t))
+       << "\"}}";
+  }
+
+  // Task slices. The absolute create/ready times ride along in args so a
+  // parsed-back trace is lossless (ts/dur only cover start..end).
+  for (const TaskRecord& r : records) {
+    sep();
+    os << "{\"name\":";
+    json_escape(os, r.label[0] != '\0' ? r.label : "task");
+    os << ",\"cat\":\"task\",\"ph\":\"X\",\"pid\":" << opts.pid
+       << ",\"tid\":" << r.thread << ",\"ts\":";
+    emit_us(os, r.t_start, t0);
+    os << ",\"dur\":";
+    emit_us(os, r.t_end, r.t_start);
+    os << ",\"args\":{\"id\":" << r.task_id
+       << ",\"iteration\":" << r.iteration << ",\"create_us\":";
+    emit_us(os, r.t_create, t0);
+    os << ",\"ready_us\":";
+    emit_us(os, r.t_ready, t0);
+    os << ",\"queue_us\":";
+    emit_us(os, r.t_start, r.t_ready);
+    os << "}}";
+  }
+
+  // Flow arrows along dependence edges: an "s" event at the predecessor's
+  // end, an "f" (bind-enclosing) event at the successor's start. Edges
+  // whose endpoints were not traced (internal redirect nodes, records
+  // dropped mid-toggle) are skipped.
+  if (opts.flows) {
+    std::unordered_map<std::uint64_t, const TaskRecord*> by_id;
+    by_id.reserve(records.size());
+    for (const TaskRecord& r : records) by_id.emplace(r.task_id, &r);
+    std::uint64_t flow_id = 0;
+    for (const TraceEdge& e : edges) {
+      auto pi = by_id.find(e.pred);
+      auto si = by_id.find(e.succ);
+      if (pi == by_id.end() || si == by_id.end()) continue;
+      ++flow_id;
+      sep();
+      os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":"
+         << flow_id << ",\"pid\":" << opts.pid
+         << ",\"tid\":" << pi->second->thread << ",\"ts\":";
+      emit_us(os, pi->second->t_end, t0);
+      os << ",\"args\":{\"pred\":" << e.pred << ",\"succ\":" << e.succ
+         << "}}";
+      sep();
+      os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\","
+         << "\"id\":" << flow_id << ",\"pid\":" << opts.pid
+         << ",\"tid\":" << si->second->thread << ",\"ts\":";
+      emit_us(os, si->second->t_start, t0);
+      os << "}";
+    }
+  }
+
+  // Counter track: number of concurrently-running task bodies, sampled at
+  // every start/end transition (the parallelism profile, live in the UI).
+  if (opts.counter_track && !records.empty()) {
+    std::vector<std::pair<std::uint64_t, int>> ev;
+    ev.reserve(records.size() * 2);
+    for (const TaskRecord& r : records) {
+      ev.emplace_back(r.t_start, +1);
+      ev.emplace_back(r.t_end, -1);
+    }
+    std::sort(ev.begin(), ev.end());
+    int running = 0;
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      running += ev[i].second;
+      // Collapse simultaneous transitions into one sample.
+      if (i + 1 < ev.size() && ev[i + 1].first == ev[i].first) continue;
+      sep();
+      os << "{\"name\":\"running tasks\",\"ph\":\"C\",\"pid\":" << opts.pid
+         << ",\"ts\":";
+      emit_us(os, ev[i].first, t0);
+      os << ",\"args\":{\"running\":" << running << "}}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Extended TSV
+// ---------------------------------------------------------------------------
+
+void write_trace_tsv(std::ostream& os,
+                     std::span<const TaskRecord> records) {
+  os << "task_id\tthread\titeration\tlabel\tt_create_ns\tt_ready_ns\t"
+        "t_start_ns\tt_end_ns\n";
+  for (const TaskRecord& r : records) {
+    os << r.task_id << '\t' << r.thread << '\t' << r.iteration << '\t'
+       << (r.label[0] != '\0' ? r.label : "task") << '\t' << r.t_create
+       << '\t' << r.t_ready << '\t' << r.t_start << '\t' << r.t_end << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (recursive descent, tailored to trace files)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  const JsonValue* get(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, val] : std::get<JsonObject>(v)) {
+      if (k == key) return &val;
+    }
+    return nullptr;
+  }
+  double number(double fallback = 0.0) const {
+    const double* d = std::get_if<double>(&v);
+    return d != nullptr ? *d : fallback;
+  }
+  std::string_view str() const {
+    const std::string* s = std::get_if<std::string>(&v);
+    return s != nullptr ? std::string_view(*s) : std::string_view();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    TDG_REQUIRE(pos_ == text_.size(), "trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    TDG_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    TDG_REQUIRE(peek() == c, "malformed JSON: unexpected character");
+    ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': return literal("true", JsonValue{true});
+      case 'f': return literal("false", JsonValue{false});
+      case 'n': return literal("null", JsonValue{nullptr});
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const char* word, JsonValue v) {
+    const std::size_t len = std::strlen(word);
+    TDG_REQUIRE(text_.compare(pos_, len, word) == 0,
+                "malformed JSON literal");
+    pos_ += len;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    TDG_REQUIRE(pos_ > start, "malformed JSON number");
+    char* end = nullptr;
+    const double d = std::strtod(text_.c_str() + start, &end);
+    TDG_REQUIRE(end == text_.c_str() + pos_, "malformed JSON number");
+    return JsonValue{d};
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      TDG_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      TDG_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          TDG_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              TDG_REQUIRE(false, "malformed \\u escape");
+          }
+          // Traces only escape control characters; keep it simple (Latin-1
+          // range; anything else would round-trip through raw UTF-8).
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          TDG_REQUIRE(false, "unknown JSON escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray items;
+    if (consume(']')) return JsonValue{std::move(items)};
+    while (true) {
+      items.push_back(value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return JsonValue{std::move(items)};
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject members;
+    if (consume('}')) return JsonValue{std::move(members)};
+    while (true) {
+      std::string key = string();
+      expect(':');
+      members.emplace_back(std::move(key), value());
+      if (consume('}')) break;
+      expect(',');
+    }
+    return JsonValue{std::move(members)};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+const char* intern_label(ParsedTrace& t, std::string_view label) {
+  for (const std::string& s : t.label_pool) {
+    if (s == label) return s.c_str();
+  }
+  t.label_pool.emplace_back(label);
+  return t.label_pool.back().c_str();
+}
+
+std::uint64_t us_to_ns(double us) {
+  return us > 0 ? static_cast<std::uint64_t>(us * 1000.0 + 0.5) : 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parsers
+// ---------------------------------------------------------------------------
+
+ParsedTrace parse_perfetto(std::istream& is) {
+  JsonParser parser(is);
+  const JsonValue root = parser.parse();
+
+  const JsonArray* events = nullptr;
+  if (root.is_array()) {
+    events = &std::get<JsonArray>(root.v);
+  } else if (root.is_object()) {
+    const JsonValue* te = root.get("traceEvents");
+    TDG_REQUIRE(te != nullptr && te->is_array(),
+                "trace JSON has no traceEvents array");
+    events = &std::get<JsonArray>(te->v);
+  } else {
+    TDG_REQUIRE(false, "trace JSON root must be an object or array");
+  }
+
+  ParsedTrace out;
+  for (const JsonValue& ev : *events) {
+    TDG_REQUIRE(ev.is_object(), "trace event is not a JSON object");
+    const JsonValue* ph = ev.get("ph");
+    TDG_REQUIRE(ph != nullptr, "trace event lacks a ph field");
+    if (ph->str() == "X") {
+      const JsonValue* args = ev.get("args");
+      TaskRecord r;
+      const double ts = ev.get("ts") != nullptr ? ev.get("ts")->number() : 0;
+      const double dur =
+          ev.get("dur") != nullptr ? ev.get("dur")->number() : 0;
+      r.t_start = us_to_ns(ts);
+      r.t_end = us_to_ns(ts + dur);
+      r.thread = ev.get("tid") != nullptr
+                     ? static_cast<std::uint32_t>(ev.get("tid")->number())
+                     : 0;
+      if (args != nullptr && args->is_object()) {
+        if (const JsonValue* id = args->get("id"); id != nullptr) {
+          r.task_id = static_cast<std::uint64_t>(id->number());
+        }
+        if (const JsonValue* it = args->get("iteration"); it != nullptr) {
+          r.iteration = static_cast<std::uint32_t>(it->number());
+        }
+        if (const JsonValue* c = args->get("create_us"); c != nullptr) {
+          r.t_create = us_to_ns(c->number());
+        } else {
+          r.t_create = r.t_start;
+        }
+        if (const JsonValue* rd = args->get("ready_us"); rd != nullptr) {
+          r.t_ready = us_to_ns(rd->number());
+        } else {
+          r.t_ready = r.t_start;
+        }
+      } else {
+        r.t_create = r.t_ready = r.t_start;
+      }
+      const JsonValue* name = ev.get("name");
+      r.label = intern_label(out, name != nullptr ? name->str() : "task");
+      out.records.push_back(r);
+    } else if (ph->str() == "s") {
+      // Flow start events carry the edge's task ids in args.
+      const JsonValue* args = ev.get("args");
+      if (args != nullptr && args->get("pred") != nullptr &&
+          args->get("succ") != nullptr) {
+        out.edges.push_back(TraceEdge{
+            static_cast<std::uint64_t>(args->get("pred")->number()),
+            static_cast<std::uint64_t>(args->get("succ")->number())});
+      }
+    }
+    // "M" metadata, "f" flow finish, "C" counters carry no record data.
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.t_start < b.t_start;
+            });
+  return out;
+}
+
+ParsedTrace parse_trace_tsv(std::istream& is) {
+  ParsedTrace out;
+  std::string line;
+  TDG_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "empty TSV trace");
+  TDG_REQUIRE(line.rfind("task_id\t", 0) == 0,
+              "unrecognized TSV trace header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cols;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t tab = line.find('\t', start);
+      cols.push_back(line.substr(start, tab - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    TDG_REQUIRE(cols.size() == 8, "bad TSV trace row");
+    TaskRecord r;
+    r.task_id = std::strtoull(cols[0].c_str(), nullptr, 10);
+    r.thread = static_cast<std::uint32_t>(
+        std::strtoul(cols[1].c_str(), nullptr, 10));
+    r.iteration = static_cast<std::uint32_t>(
+        std::strtoul(cols[2].c_str(), nullptr, 10));
+    r.label = intern_label(out, cols[3]);
+    r.t_create = std::strtoull(cols[4].c_str(), nullptr, 10);
+    r.t_ready = std::strtoull(cols[5].c_str(), nullptr, 10);
+    r.t_start = std::strtoull(cols[6].c_str(), nullptr, 10);
+    r.t_end = std::strtoull(cols[7].c_str(), nullptr, 10);
+    out.records.push_back(r);
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.t_start < b.t_start;
+            });
+  return out;
+}
+
+ParsedTrace parse_trace(std::istream& is) {
+  int c = is.peek();
+  while (c != EOF && std::isspace(c)) {
+    is.get();
+    c = is.peek();
+  }
+  TDG_REQUIRE(c != EOF, "empty trace input");
+  if (c == '{' || c == '[') return parse_perfetto(is);
+  return parse_trace_tsv(is);
+}
+
+}  // namespace tdg

@@ -1,0 +1,80 @@
+// Trace export/import for the profiler's TaskRecord stream.
+//
+// The primary format is the Chrome/Perfetto trace-event JSON format
+// (https://ui.perfetto.dev loads it directly): one track per thread, one
+// "X" (complete) slice per executed task with id/iteration/latency args,
+// flow arrows ("s"/"f" pairs) along discovered dependence edges, and a
+// counter track of the number of concurrently-running tasks. A lossless
+// extended TSV is also provided for spreadsheet-style consumers, superset
+// of the Fig. 8 Gantt TSV.
+//
+// Both formats can be parsed back (tests round-trip them; the tdg-trace
+// CLI and the post-mortem analysis in core/analysis.hpp consume the
+// result), so every emitted trace is also an analysis input.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace tdg {
+
+/// `TDG_TRACE` environment switch.
+enum class TraceMode : std::uint8_t { Off, Tsv, Perfetto };
+
+struct TraceEnvConfig {
+  TraceMode mode = TraceMode::Off;
+  /// Output path from `TDG_TRACE_FILE`; empty = auto ("tdg_trace.json" /
+  /// "tdg_trace.tsv", suffixed with a sequence number for later runtimes
+  /// in the same process).
+  std::string path;
+};
+
+/// Parse TDG_TRACE (perfetto | tsv | off, default off) and TDG_TRACE_FILE.
+TraceEnvConfig trace_env_config();
+
+struct PerfettoOptions {
+  int pid = 0;                        ///< process id track (use the rank)
+  const char* process_name = "tdg";
+  bool flows = true;          ///< emit flow arrows along dependence edges
+  bool counter_track = true;  ///< emit the running-task counter track
+};
+
+/// Write records (+ optional dependence edges) as trace-event JSON.
+/// Timestamps are normalized to the earliest record and expressed in
+/// microseconds, as the format requires.
+void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
+                    std::span<const TraceEdge> edges = {},
+                    const PerfettoOptions& opts = {});
+
+/// Write the extended TSV: one header line, one row per record with
+/// task_id/thread/iteration/label and all four absolute ns timestamps.
+void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records);
+
+/// A parsed trace. Owns the label storage the records point into (the
+/// pool is a deque so grown entries never relocate).
+struct ParsedTrace {
+  std::vector<TaskRecord> records;  ///< sorted by t_start
+  std::vector<TraceEdge> edges;
+  std::deque<std::string> label_pool;
+};
+
+/// Parse trace-event JSON produced by write_perfetto (accepts both the
+/// {"traceEvents": [...]} object form and a bare event array). Throws
+/// tdg::UsageError on malformed input — the round-trip tests use this as
+/// the well-formedness check.
+ParsedTrace parse_perfetto(std::istream& is);
+
+/// Parse the extended TSV of write_trace_tsv.
+ParsedTrace parse_trace_tsv(std::istream& is);
+
+/// Parse either format, sniffing the first non-whitespace byte ('{' or
+/// '[' selects JSON).
+ParsedTrace parse_trace(std::istream& is);
+
+}  // namespace tdg

@@ -12,6 +12,7 @@ void RequestPoller::complete_on_event(Request r, Event* ev, bool collective) {
   t.span.collective = collective;
   if (t.req.done()) {  // completed immediately (eager / already matched)
     t.span.complete_ns = t.span.post_ns;
+    record_metrics(t);
     {
       std::lock_guard<std::mutex> g(mu_);
       done_.push_back(t.span);
@@ -32,6 +33,7 @@ void RequestPoller::poll() {
     for (std::size_t i = 0; i < pending_.size();) {
       if (pending_[i].req.done()) {
         pending_[i].span.complete_ns = now_ns();
+        record_metrics(pending_[i]);
         done_.push_back(pending_[i].span);
         ready.push_back(pending_[i].ev);
         pending_[i] = std::move(pending_.back());
@@ -42,6 +44,15 @@ void RequestPoller::poll() {
     }
   }
   for (Event* ev : ready) ev->fulfill();
+}
+
+void RequestPoller::record_metrics(const Tracked& t) {
+  MetricsRegistry& m = rt_->metrics();
+  const unsigned shard = rt_->metrics_shard();
+  m.add(m_requests_, 1, shard);
+  if (t.span.collective) m.add(m_collectives_, 1, shard);
+  m.add(m_bytes_, t.req.bytes(), shard);
+  m.observe(m_wait_ns_, t.span.complete_ns - t.span.post_ns, shard);
 }
 
 std::vector<RequestSpan> RequestPoller::completed_spans() const {

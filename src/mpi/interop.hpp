@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/runtime.hpp"
 #include "mpi/mpi.hpp"
 
@@ -36,6 +37,13 @@ class RequestPoller {
     hook_token_ = rt_->set_polling_hook([this] { poll(); });
     diag_token_ = rt_->watchdog().add_diagnostic(
         [this](std::string& out) { diagnostic(out); });
+    // Registration is idempotent by name, so successive pollers on one
+    // runtime (tests create several) accumulate into the same counters.
+    MetricsRegistry& m = rt_->metrics();
+    m_requests_ = m.counter("comm.requests");
+    m_collectives_ = m.counter("comm.collectives");
+    m_bytes_ = m.counter("comm.bytes");
+    m_wait_ns_ = m.histogram("comm.wait_ns");
   }
   ~RequestPoller() {
     if (rt_ != nullptr) {
@@ -69,9 +77,13 @@ class RequestPoller {
     RequestSpan span;
   };
 
+  /// Record a completed span into the runtime metrics registry.
+  void record_metrics(const Tracked& t);
+
   Runtime* rt_;
   Runtime::PollingHookToken hook_token_;
   std::uint64_t diag_token_ = 0;
+  MetricsRegistry::Id m_requests_, m_collectives_, m_bytes_, m_wait_ns_;
   mutable std::mutex mu_;
   std::vector<Tracked> pending_;
   std::vector<RequestSpan> done_;

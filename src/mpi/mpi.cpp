@@ -1,6 +1,7 @@
 #include "mpi/mpi.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -9,6 +10,7 @@
 
 #include "core/common.hpp"
 #include "core/error.hpp"
+#include "core/metrics.hpp"
 
 namespace tdg::mpi {
 namespace detail {
@@ -486,12 +488,20 @@ void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
     world.mailboxes.push_back(std::make_unique<Mailbox>());
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  // Per-rank traffic snapshots, captured before each rank thread exits so
+  // TDG_METRICS=dump can report them after the join.
+  std::vector<CommStats> rank_stats(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &fn, &errors, r] {
+    threads.emplace_back([&world, &fn, &errors, &rank_stats, r] {
       try {
         Comm comm(world, r);
+        struct StatsCapture {
+          Comm& c;
+          CommStats& out;
+          ~StatsCapture() { out = c.stats(); }
+        } capture{comm, rank_stats[static_cast<std::size_t>(r)]};
         fn(comm);
       } catch (...) {
         // Captured, not terminated: rethrown on the joining thread below
@@ -501,6 +511,21 @@ void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
     });
   }
   for (auto& t : threads) t.join();
+  if (metrics_env_mode() == MetricsEnvMode::Dump) {
+    std::fprintf(stderr, "tdg: universe comm stats (%d ranks)\n", nranks);
+    for (int r = 0; r < nranks; ++r) {
+      const CommStats& s = rank_stats[static_cast<std::size_t>(r)];
+      std::fprintf(stderr,
+                   "  rank %d: sends=%llu (eager=%llu rendezvous=%llu) "
+                   "recvs=%llu bytes_sent=%llu allreduces=%llu\n",
+                   r, static_cast<unsigned long long>(s.sends),
+                   static_cast<unsigned long long>(s.eager_sends),
+                   static_cast<unsigned long long>(s.rendezvous_sends),
+                   static_cast<unsigned long long>(s.recvs),
+                   static_cast<unsigned long long>(s.bytes_sent),
+                   static_cast<unsigned long long>(s.allreduces));
+    }
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -54,6 +54,9 @@ class Request {
   /// Human-readable description of the operation, e.g.
   /// "irecv src=1 tag=7 bytes=8" (watchdog / DeadlineError diagnostics).
   std::string describe() const;
+  /// Payload size of the operation (0 for an invalid request; element
+  /// bytes for collectives).
+  std::size_t bytes() const { return state_ ? state_->bytes : 0; }
 
  private:
   friend class Comm;

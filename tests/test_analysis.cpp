@@ -1,0 +1,152 @@
+// Tests for the post-mortem trace analysis: critical path on a hand-built
+// diamond DAG with a known answer, parallelism profiling, and the
+// discovery/execution overlap metric.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/error.hpp"
+
+namespace tdg {
+namespace {
+
+TaskRecord rec(std::uint64_t id, const char* label, std::uint64_t t_create,
+               std::uint64_t t_start, std::uint64_t t_end,
+               std::uint32_t thread = 0) {
+  TaskRecord r;
+  r.task_id = id;
+  r.label = label;
+  r.t_create = t_create;
+  r.t_ready = t_create;
+  r.t_start = t_start;
+  r.t_end = t_end;
+  r.thread = thread;
+  return r;
+}
+
+// Diamond: A -> {B, C} -> D. Durations A=10, B=30, C=5, D=10 (ns), so the
+// critical path is A-B-D with length 50ns.
+std::vector<TaskRecord> diamond_records() {
+  return {
+      rec(1, "A", 0, 0, 10),
+      rec(2, "B", 1, 10, 40, 0),
+      rec(3, "C", 2, 10, 15, 1),
+      rec(4, "D", 3, 40, 50),
+  };
+}
+
+std::vector<TraceEdge> diamond_edges() {
+  return {{1, 2}, {1, 3}, {2, 4}, {3, 4}};
+}
+
+TEST(CriticalPathTest, DiamondHasKnownExactAnswer) {
+  const auto records = diamond_records();
+  const auto edges = diamond_edges();
+  const CriticalPath cp = critical_path(records, edges);
+
+  ASSERT_EQ(cp.nodes.size(), 3u);
+  EXPECT_EQ(cp.nodes[0].task_id, 1u);
+  EXPECT_EQ(cp.nodes[1].task_id, 2u);
+  EXPECT_EQ(cp.nodes[2].task_id, 4u);
+  EXPECT_NEAR(cp.length_seconds, 50e-9, 1e-15);
+  EXPECT_NEAR(cp.span_seconds, 50e-9, 1e-15);
+  EXPECT_NEAR(cp.slack_ratio(), 1.0, 1e-9);
+
+  // Per-label attribution, sorted descending: B (30) > A, D (10 each).
+  ASSERT_EQ(cp.label_seconds.size(), 3u);
+  EXPECT_EQ(cp.label_seconds[0].first, "B");
+  EXPECT_NEAR(cp.label_seconds[0].second, 30e-9, 1e-15);
+}
+
+TEST(CriticalPathTest, NoEdgesDegeneratesToLongestTask) {
+  const auto records = diamond_records();
+  const CriticalPath cp = critical_path(records, {});
+  ASSERT_EQ(cp.nodes.size(), 1u);
+  EXPECT_EQ(cp.nodes[0].task_id, 2u);  // B, duration 30
+  EXPECT_NEAR(cp.length_seconds, 30e-9, 1e-15);
+}
+
+TEST(CriticalPathTest, EdgesWithUnknownEndpointsAreIgnored) {
+  const auto records = diamond_records();
+  auto edges = diamond_edges();
+  edges.push_back({99, 1});  // no record for 99
+  edges.push_back({4, 777});
+  const CriticalPath cp = critical_path(records, edges);
+  EXPECT_EQ(cp.nodes.size(), 3u);
+  EXPECT_NEAR(cp.length_seconds, 50e-9, 1e-15);
+}
+
+TEST(CriticalPathTest, DuplicateEdgesDoNotChangeTheAnswer) {
+  const auto records = diamond_records();
+  auto edges = diamond_edges();
+  edges.push_back({1, 2});
+  edges.push_back({1, 2});
+  const CriticalPath cp = critical_path(records, edges);
+  EXPECT_EQ(cp.nodes.size(), 3u);
+  EXPECT_NEAR(cp.length_seconds, 50e-9, 1e-15);
+}
+
+TEST(CriticalPathTest, CyclicEdgeSetThrows) {
+  const auto records = diamond_records();
+  auto edges = diamond_edges();
+  edges.push_back({4, 1});  // close the cycle
+  EXPECT_THROW(critical_path(records, edges), UsageError);
+}
+
+TEST(CriticalPathTest, EmptyTraceYieldsEmptyPath) {
+  const CriticalPath cp = critical_path({}, {});
+  EXPECT_TRUE(cp.nodes.empty());
+  EXPECT_EQ(cp.length_seconds, 0.0);
+}
+
+TEST(ParallelismProfileTest, DiamondConcurrency) {
+  const ParallelismProfile p = parallelism_profile(diamond_records());
+  // Timeline: [0,10) one task (A); [10,15) two (B,C); [15,40) one (B);
+  // [40,50) one (D). Max concurrency 2, no idle gaps.
+  EXPECT_EQ(p.max_concurrency, 2u);
+  EXPECT_NEAR(p.span_seconds, 50e-9, 1e-15);
+  EXPECT_NEAR(p.busy_seconds, 50e-9, 1e-15);
+  ASSERT_GE(p.seconds_at.size(), 3u);
+  EXPECT_NEAR(p.seconds_at[1], 45e-9, 1e-15);
+  EXPECT_NEAR(p.seconds_at[2], 5e-9, 1e-15);
+  EXPECT_NEAR(p.avg_concurrency, 55.0 / 50.0, 1e-9);
+}
+
+TEST(ParallelismProfileTest, GapInsideSpanCountsAsIdle) {
+  std::vector<TaskRecord> records = {
+      rec(1, "A", 0, 0, 10),
+      rec(2, "B", 0, 20, 30),  // 10ns idle gap between A and B
+  };
+  const ParallelismProfile p = parallelism_profile(records);
+  EXPECT_NEAR(p.span_seconds, 30e-9, 1e-15);
+  EXPECT_NEAR(p.busy_seconds, 20e-9, 1e-15);
+  ASSERT_GE(p.seconds_at.size(), 2u);
+  EXPECT_NEAR(p.seconds_at[0], 10e-9, 1e-15);
+}
+
+TEST(OverlapTest, FullAndZeroOverlap) {
+  // Discovery window [0, 30] (t_create of first/last). Execution covers
+  // [0,10) and [20,30): 20 of 30 ns covered.
+  std::vector<TaskRecord> partial = {
+      rec(1, "A", 0, 0, 10),
+      rec(2, "B", 30, 20, 30),
+  };
+  EXPECT_NEAR(discovery_execution_overlap(partial), 20.0 / 30.0, 1e-9);
+
+  // All execution strictly after the discovery window: zero overlap.
+  std::vector<TaskRecord> none = {
+      rec(1, "A", 0, 100, 110),
+      rec(2, "B", 10, 120, 130),
+  };
+  EXPECT_NEAR(discovery_execution_overlap(none), 0.0, 1e-12);
+
+  // Fewer than two records or a zero-width window: defined as 0.
+  EXPECT_EQ(discovery_execution_overlap({}), 0.0);
+  std::vector<TaskRecord> same = {rec(1, "A", 5, 0, 10),
+                                  rec(2, "B", 5, 0, 10)};
+  EXPECT_EQ(discovery_execution_overlap(same), 0.0);
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,216 @@
+// tdg-trace: post-mortem analysis of tdg trace files.
+//
+//   tdg-trace summary  <trace>          overall stats + parallelism profile
+//   tdg-trace critpath <trace> [-n K]   critical path (top K nodes shown)
+//   tdg-trace export   <trace> [-o OUT] [--format perfetto|tsv]
+//
+// <trace> is a file produced with TDG_TRACE=perfetto or TDG_TRACE=tsv (or
+// "-" for stdin); the format is sniffed, so export converts between the
+// two. Exit status: 0 ok, 1 bad input, 2 usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/error.hpp"
+#include "core/trace_export.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> <trace-file> [options]\n"
+               "\n"
+               "commands:\n"
+               "  summary  <trace>                 task/thread totals, "
+               "parallelism profile,\n"
+               "                                   discovery/execution "
+               "overlap\n"
+               "  critpath <trace> [-n K]          critical path; print the "
+               "K longest nodes\n"
+               "                                   (default 20, 0 = all)\n"
+               "  export   <trace> [-o OUT] [--format perfetto|tsv]\n"
+               "                                   re-emit the trace "
+               "(default perfetto to\n"
+               "                                   stdout); converts "
+               "between formats\n"
+               "\n"
+               "<trace> may be '-' for stdin. Accepts both the Perfetto "
+               "JSON and the TSV\nwritten under TDG_TRACE.\n",
+               argv0);
+  return 2;
+}
+
+tdg::ParsedTrace load(const std::string& path) {
+  if (path == "-") return tdg::parse_trace(std::cin);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw tdg::UsageError("cannot open trace file: " + path);
+  }
+  return tdg::parse_trace(in);
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+int cmd_summary(const tdg::ParsedTrace& trace) {
+  const auto& rec = trace.records;
+  std::printf("tasks:    %zu\n", rec.size());
+  std::printf("edges:    %zu\n", trace.edges.size());
+  if (rec.empty()) return 0;
+
+  std::uint32_t nthreads = 0;
+  std::uint32_t iterations = 0;
+  double body_seconds = 0;
+  std::map<std::string, std::pair<std::size_t, double>> by_label;
+  for (const tdg::TaskRecord& r : rec) {
+    nthreads = std::max(nthreads, r.thread + 1);
+    iterations = std::max(iterations, r.iteration + 1);
+    const double s = static_cast<double>(r.t_end - r.t_start) * 1e-9;
+    body_seconds += s;
+    auto& agg = by_label[r.label];
+    ++agg.first;
+    agg.second += s;
+  }
+  std::printf("threads:  %u\n", nthreads);
+  if (iterations > 1) std::printf("iterations: %u\n", iterations);
+
+  const tdg::ParallelismProfile p = tdg::parallelism_profile(rec);
+  std::printf("span:     %s\n", fmt_seconds(p.span_seconds).c_str());
+  std::printf("busy:     %s (%.1f%% of span)\n",
+              fmt_seconds(p.busy_seconds).c_str(),
+              p.span_seconds > 0 ? 100.0 * p.busy_seconds / p.span_seconds
+                                 : 0.0);
+  std::printf("work:     %s (sum of task bodies)\n",
+              fmt_seconds(body_seconds).c_str());
+  std::printf("parallelism: avg %.2f, max %u\n", p.avg_concurrency,
+              p.max_concurrency);
+  std::printf("discovery/execution overlap: %.1f%%\n",
+              100.0 * tdg::discovery_execution_overlap(rec));
+
+  std::printf("\nby label:\n");
+  std::printf("  %-24s %10s %14s\n", "label", "tasks", "body time");
+  for (const auto& [label, agg] : by_label) {
+    std::printf("  %-24s %10zu %14s\n",
+                label.empty() ? "(unnamed)" : label.c_str(), agg.first,
+                fmt_seconds(agg.second).c_str());
+  }
+  return 0;
+}
+
+int cmd_critpath(const tdg::ParsedTrace& trace, std::size_t top) {
+  if (trace.edges.empty() && trace.records.size() > 1) {
+    std::fprintf(stderr,
+                 "tdg-trace: warning: trace has no dependence edges (was it "
+                 "recorded with\ntdg-trace: flow arrows enabled?); critical "
+                 "path degenerates to the longest task\n");
+  }
+  const tdg::CriticalPath cp =
+      tdg::critical_path(trace.records, trace.edges);
+  std::printf("critical path: %zu tasks, %s\n", cp.nodes.size(),
+              fmt_seconds(cp.length_seconds).c_str());
+  std::printf("trace span:    %s (slack ratio %.2f)\n",
+              fmt_seconds(cp.span_seconds).c_str(), cp.slack_ratio());
+  if (!cp.label_seconds.empty()) {
+    std::printf("\nby label:\n");
+    for (const auto& [label, s] : cp.label_seconds) {
+      std::printf("  %-24s %14s  (%.1f%%)\n",
+                  label.empty() ? "(unnamed)" : label.c_str(),
+                  fmt_seconds(s).c_str(),
+                  cp.length_seconds > 0 ? 100.0 * s / cp.length_seconds
+                                        : 0.0);
+    }
+  }
+  if (!cp.nodes.empty()) {
+    const std::size_t n =
+        top == 0 ? cp.nodes.size() : std::min(top, cp.nodes.size());
+    std::printf("\npath (%zu of %zu nodes):\n", n, cp.nodes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const tdg::CriticalPathNode& node = cp.nodes[i];
+      std::printf("  #%-6llu %-24s %14s\n",
+                  static_cast<unsigned long long>(node.task_id),
+                  node.label.empty() ? "(unnamed)" : node.label.c_str(),
+                  fmt_seconds(node.seconds()).c_str());
+    }
+    if (n < cp.nodes.size()) {
+      std::printf("  ... (%zu more; use -n 0 for all)\n",
+                  cp.nodes.size() - n);
+    }
+  }
+  return 0;
+}
+
+int cmd_export(const tdg::ParsedTrace& trace, const std::string& out_path,
+               const std::string& format) {
+  std::ostringstream body;
+  if (format == "perfetto" || format == "json") {
+    tdg::write_perfetto(body, trace.records, trace.edges);
+  } else if (format == "tsv") {
+    tdg::write_trace_tsv(body, trace.records);
+  } else {
+    throw tdg::UsageError("unknown export format: " + format);
+  }
+  if (out_path.empty() || out_path == "-") {
+    std::cout << body.str();
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw tdg::UsageError("cannot open output file: " + out_path);
+    out << body.str();
+    std::fprintf(stderr, "tdg-trace: wrote %s (%zu records, %zu edges)\n",
+                 out_path.c_str(), trace.records.size(),
+                 trace.edges.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  std::size_t top = 20;
+  std::string out_path;
+  std::string format = "perfetto";
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-n" && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else {
+      std::fprintf(stderr, "tdg-trace: unknown option: %s\n", a.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    const tdg::ParsedTrace trace = load(path);
+    if (cmd == "summary") return cmd_summary(trace);
+    if (cmd == "critpath") return cmd_critpath(trace, top);
+    if (cmd == "export") return cmd_export(trace, out_path, format);
+    std::fprintf(stderr, "tdg-trace: unknown command: %s\n", cmd.c_str());
+    return usage(argv[0]);
+  } catch (const tdg::UsageError& e) {
+    std::fprintf(stderr, "tdg-trace: %s\n", e.what());
+    return 1;
+  }
+}
