@@ -168,6 +168,74 @@ void BM_MetricsOverheadDiscovery(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsOverheadDiscovery)->Arg(0)->Arg(1);
 
+void BM_SpawnExecuteThroughput(benchmark::State& state) {
+  // End-to-end spawn+execute rate with a worker team: one producer
+  // submitting independent tasks while range(0)-1 workers execute them.
+  // This is the deque-contention + per-task-allocation path the
+  // low-contention scheduler core targets; items/s is the number the CI
+  // smoke test guards against regression.
+  const unsigned nthreads = static_cast<unsigned>(state.range(0));
+  constexpr int kTasks = 20000;
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime::Config cfg;
+    cfg.num_threads = nthreads;
+    cfg.metrics = false;
+    Runtime rt(cfg);
+    state.ResumeTiming();
+    for (int i = 0; i < kTasks; ++i) {
+      rt.submit([&sink] { sink.fetch_add(1, std::memory_order_relaxed); },
+                {});
+    }
+    rt.taskwait();
+    state.PauseTiming();
+    // Runtime teardown (worker join) outside the timed region.
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_SpawnExecuteThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StealThroughput(benchmark::State& state) {
+  // Steal-dominated execution: the producer floods its own deque with
+  // root tasks whose bodies are long enough that workers must steal
+  // nearly everything. Measures tasks/s through the steal path; the
+  // sched.steals counter is exported so before/after runs can compare
+  // steal rate, not just completion rate.
+  const unsigned nthreads = static_cast<unsigned>(state.range(0));
+  constexpr int kTasks = 4000;
+  std::atomic<long> sink{0};
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime::Config cfg;
+    cfg.num_threads = nthreads;
+    Runtime rt(cfg);
+    state.ResumeTiming();
+    for (int i = 0; i < kTasks; ++i) {
+      rt.submit(
+          [&sink] {
+            long acc = 0;
+            for (int k = 0; k < 64; ++k) acc += k;
+            sink.fetch_add(acc, std::memory_order_relaxed);
+          },
+          {});
+    }
+    rt.taskwait();
+    state.PauseTiming();
+    steals += rt.metrics().snapshot().value("sched.steals");
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.counters["steals_per_iter"] = benchmark::Counter(
+      static_cast<double>(steals) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations())));
+}
+BENCHMARK(BM_StealThroughput)->Arg(2)->Arg(4);
+
 void BM_DetachFulfill(benchmark::State& state) {
   Runtime rt({.num_threads = 1});
   for (auto _ : state) {

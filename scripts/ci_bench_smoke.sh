@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Scheduler spawn-throughput smoke test.
+#
+# Runs bench_micro_runtime's BM_SpawnExecuteThroughput/1 (single-thread
+# spawn+execute: the pure discovery-path cost, no steal noise) and compares
+# items_per_second against the recorded baseline in
+# scripts/bench_baseline.txt. Fails if throughput drops below
+# MIN_FRACTION (default 0.80) of the baseline.
+#
+# If the baseline file is missing, the current measurement is recorded as
+# the new baseline and the check passes — commit the file to pin it.
+# Re-record deliberately after a known perf change:
+#   rm scripts/bench_baseline.txt && scripts/ci_bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${BENCH_BUILD_DIR:-build}
+baseline_file=scripts/bench_baseline.txt
+min_fraction=${MIN_FRACTION:-0.80}
+bench_filter='BM_SpawnExecuteThroughput/1$'
+
+if [ ! -x "$build_dir"/bench/bench_micro_runtime ]; then
+  echo "=== [bench-smoke] building $build_dir ==="
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+        --target bench_micro_runtime
+fi
+
+echo "=== [bench-smoke] running $bench_filter ==="
+json=$("$build_dir"/bench/bench_micro_runtime \
+         --benchmark_filter="$bench_filter" \
+         --benchmark_min_time=0.2 \
+         --benchmark_format=json 2>/dev/null)
+
+current=$(printf '%s' "$json" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+bms = [b for b in doc["benchmarks"] if b.get("run_type", "iteration") == "iteration"]
+assert bms, "benchmark produced no measurements"
+print(bms[0]["items_per_second"])
+')
+
+if [ ! -f "$baseline_file" ]; then
+  printf '%s\n' "$current" > "$baseline_file"
+  echo "=== [bench-smoke] no baseline; recorded $current items/s ==="
+  exit 0
+fi
+
+baseline=$(head -n1 "$baseline_file")
+python3 - "$current" "$baseline" "$min_fraction" <<'EOF'
+import sys
+current, baseline, min_fraction = map(float, sys.argv[1:4])
+ratio = current / baseline
+print(f"=== [bench-smoke] spawn throughput {current:.3e} items/s "
+      f"(baseline {baseline:.3e}, ratio {ratio:.2f}, floor {min_fraction}) ===")
+if ratio < min_fraction:
+    sys.exit(f"bench-smoke FAILED: spawn throughput regressed to "
+             f"{ratio:.0%} of baseline (floor {min_fraction:.0%})")
+EOF

@@ -39,6 +39,20 @@ for san in "${sanitizers[@]}"; do
   ASAN_OPTIONS="detect_leaks=1" \
     ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
           --timeout 900
+
+  echo "=== [$san] Chase-Lev deque stress ==="
+  # The owner/thief stress is the one test whose interleavings matter most
+  # under TSan; run it explicitly (and repeated) so a CI log always shows
+  # it executed, independent of ctest sharding.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "$dir"/tests/test_deque --gtest_filter='ChaseLevDequeStress.*' \
+          --gtest_repeat=3
 done
 
 echo "=== sanitizer runs passed: ${sanitizers[*]} ==="
+
+# Scheduler throughput smoke: guard against regressions in the spawn path
+# (deque + slab allocator). Uses the unsanitized tree; see the script for
+# the baseline-recording protocol.
+scripts/ci_bench_smoke.sh

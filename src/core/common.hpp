@@ -62,6 +62,44 @@ class SpinGuard {
   SpinLock& lock_;
 };
 
+/// Spin-then-yield-then-sleep ladder for blocking waits that must keep
+/// polling (taskwait drains, throttling stalls, worker idle loops). The
+/// first stage burns a few pause instructions (a task usually shows up
+/// within nanoseconds on a busy graph), the second yields the core, and
+/// the tail sleeps in exponentially-growing quanta capped at kMaxSleepUs —
+/// bounded so MPI polling hooks and deferred-retry deadlines are still
+/// serviced promptly. Workers use should_park() to switch from the ladder
+/// to condition-variable parking instead of the sleep tail.
+class Backoff {
+ public:
+  static constexpr int kSpin = 32;       ///< stage 1: cpu_relax probes
+  static constexpr int kYield = 8;       ///< stage 2: sched_yield probes
+  static constexpr std::int64_t kMaxSleepUs = 64;  ///< stage 3 cap
+
+  /// One failed probe: escalate and stall accordingly.
+  void pause() noexcept {
+    ++n_;
+    if (n_ <= kSpin) {
+      SpinLock::cpu_relax();
+    } else if (n_ <= kSpin + kYield) {
+      std::this_thread::yield();
+    } else {
+      const int over = n_ - kSpin - kYield;
+      const std::int64_t us =
+          over < 7 ? (std::int64_t{1} << over) : kMaxSleepUs;
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+  /// True once the spin and yield stages are exhausted (worker loops park
+  /// on a condition variable instead of entering the sleep tail).
+  bool should_park() const noexcept { return n_ >= kSpin + kYield; }
+  /// Work was found: restart the ladder from the spin stage.
+  void reset() noexcept { n_ = 0; }
+
+ private:
+  int n_ = 0;
+};
+
 /// Fatal invariant failure. TDG_CHECK is reserved for conditions whose
 /// violation means runtime state is corrupt (protocol bugs, wedged
 /// refcounts): recovery is impossible, so we abort without unwinding.

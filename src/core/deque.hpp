@@ -1,0 +1,165 @@
+// Lock-free Chase-Lev work-stealing deque (Chase & Lev, SPAA'05) with a
+// growable ring buffer, replacing the SpinLock+std::deque WorkDeque: the
+// paper shows TDG discovery speed bounds application performance, and a
+// mutex acquisition per deque operation on the discovery/ready path is one
+// of the two classic contention sources (the other being the per-task heap
+// allocation, see core/slab.hpp).
+//
+// Protocol: the owner thread pushes and pops at the *bottom*; thieves take
+// the oldest element from the *top* with a CAS. The only contended case is
+// a single-element deque, where the owner's pop and a thief's steal race on
+// the same top CAS.
+//
+// Memory-order argument (following Le, Pop, Cohen & Zappa Nardelli,
+// PPoPP'13, but using seq_cst operations on top/bottom instead of
+// standalone fences — ThreadSanitizer models atomic operations precisely
+// but has historically incomplete support for atomic_thread_fence, and on
+// x86 a seq_cst store on the pop path costs the same locked instruction
+// the CAS variant would):
+//
+//  * push_bottom: the element store into the ring slot (relaxed atomic)
+//    happens-before the release store of bottom; a thief acquire-loads
+//    bottom, so if it observes the new bottom it also observes the slot.
+//  * pop_bottom: the owner first publishes the decremented bottom with a
+//    seq_cst store, then seq_cst-loads top. steal_top loads top then
+//    bottom, both seq_cst. The seq_cst total order makes the classic
+//    store->load Dekker pattern sound: either the thief sees the owner's
+//    reservation (bottom already decremented => t >= b, steal retries) or
+//    the owner sees the thief's CAS on top, and they race on the final
+//    element through the top CAS, which exactly one side wins.
+//  * grow: only the owner grows. The new ring is fully populated before
+//    the release store of the ring pointer. A thief may still read from a
+//    *stale* ring: the indices it can legitimately read ([top, bottom))
+//    hold identical values in both rings, and any element the owner has
+//    since overwritten belongs to an index range whose top CAS must fail.
+//    Retired rings are kept until the deque is destroyed, so stale readers
+//    never touch freed memory (a handful of geometrically-growing buffers;
+//    memory is bounded by 2x the high-water mark).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+template <class T>
+class ChaseLevDeque {
+ public:
+  /// `initial_capacity` must be a power of two.
+  explicit ChaseLevDeque(std::size_t initial_capacity = 256)
+      : live_(std::make_unique<Ring>(initial_capacity)),
+        ring_(live_.get()) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push one element at the bottom.
+  void push_bottom(T* x) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, b, t);
+    }
+    a->put(b, x);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the newest element (LIFO end). nullptr when empty.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    // Reserve the bottom slot before inspecting top (Dekker store->load).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    T* x = nullptr;
+    if (t <= b) {
+      x = a->get(b);
+      if (t == b) {
+        // Last element: race the thieves for it via the top CAS.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          x = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      // Deque was empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  /// Any thread: steal the oldest element (FIFO end). nullptr when the
+  /// deque is empty or the probe lost a race (callers treat both as "no
+  /// work here, move on").
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* a = ring_.load(std::memory_order_acquire);
+    T* x = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // another thief (or the owner's pop) won index t
+    }
+    return x;
+  }
+
+  /// Racy size estimate (diagnostics only).
+  std::size_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+  bool approx_empty() const { return approx_size() == 0; }
+
+  /// Current ring capacity (tests).
+  std::size_t capacity() const {
+    return ring_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  /// Owner only: double the ring, copying the live window [t, b).
+  Ring* grow(Ring* a, std::int64_t b, std::int64_t t) {
+    auto bigger = std::make_unique<Ring>(a->capacity * 2);
+    for (std::int64_t i = t; i != b; ++i) bigger->put(i, a->get(i));
+    retired_.push_back(std::move(live_));  // stale thieves may still read it
+    live_ = std::move(bigger);
+    ring_.store(live_.get(), std::memory_order_release);
+    return live_.get();
+  }
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLine) std::unique_ptr<Ring> live_;  // owner-side ownership
+  std::atomic<Ring*> ring_;                         // readers' view
+  std::vector<std::unique_ptr<Ring>> retired_;      // owner only
+};
+
+}  // namespace tdg

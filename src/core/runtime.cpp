@@ -10,11 +10,21 @@
 namespace tdg {
 
 namespace {
-// Thread slot within the owning runtime. Slot 0 is the producer; external
-// threads fall back to slot 0 (its deque is lock-protected).
+// Thread slot within the owning runtime. Slot 0 is the producer.
 thread_local unsigned tls_slot = 0;
+// Runtime whose team this thread belongs to. Chase-Lev deques have a
+// single-owner bottom end, so push/pop fast paths are only taken when the
+// calling thread verifiably owns the hinted slot *of this runtime* —
+// foreign threads (detach fulfilment from another rank's team, nested
+// runtimes on one thread) go through the inject queue / steal path
+// instead.
+thread_local Runtime* tls_runtime = nullptr;
 // Task whose body is executing on this thread (for current_task_event).
 thread_local Task* tls_current_task = nullptr;
+
+unsigned resolve_threads(unsigned n) {
+  return n != 0 ? n : std::max(1u, std::thread::hardware_concurrency());
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -46,7 +56,13 @@ void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
   steals = reg.counter("sched.steals");
   steal_failures = reg.counter("sched.steal_failures");
   throttle_stalls = reg.counter("sched.throttle_stalls");
+  parks = reg.counter("sched.parks");
+  wakeups = reg.counter("sched.wakeups");
+  retry_defers = reg.counter("sched.retry_defers");
   ready_depth = reg.gauge("sched.ready_depth");
+  slab_recycled = reg.counter("alloc.slab_recycled");
+  slab_fresh = reg.counter("alloc.slab_fresh");
+  slab_chunks = reg.counter("alloc.slab_chunks");
   tasks_executed = reg.counter("exec.tasks");
   body_ns = reg.histogram("exec.body_ns");
   queue_ns = reg.histogram("exec.queue_ns");
@@ -58,11 +74,11 @@ void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       watchdog_(cfg.watchdog),
-      dep_map_(*static_cast<DiscoveryHooks*>(this)) {
+      dep_map_(*static_cast<DiscoveryHooks*>(this)),
+      arena_(sizeof(Task), resolve_threads(cfg.num_threads)) {
   watchdog_.add_diagnostic(
       [this](std::string& out) { runtime_diagnostic(out); });
-  unsigned n = cfg_.num_threads;
-  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n = resolve_threads(cfg_.num_threads);
   cfg_.num_threads = n;
   // Environment overrides (see Config::metrics): TDG_METRICS gates
   // collection, TDG_TRACE force-enables tracing and selects the teardown
@@ -86,7 +102,13 @@ Runtime::Runtime(Config cfg)
   for (unsigned i = 0; i < n; ++i) {
     deques_.push_back(std::make_unique<WorkDeque>());
   }
+  victim_rng_ = std::vector<VictimRng>(n);
+  for (unsigned i = 0; i < n; ++i) {
+    victim_rng_[i].s.store(0x9e3779b97f4a7c15ull * (i + 1) + 1,
+                           std::memory_order_relaxed);
+  }
   tls_slot = 0;  // caller becomes the producer
+  tls_runtime = this;
   workers_.reserve(n > 0 ? n - 1 : 0);
   for (unsigned i = 1; i < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -112,7 +134,14 @@ Runtime::~Runtime() {
     has_failures_.store(false, std::memory_order_relaxed);
   }
   shutdown_.store(true, std::memory_order_release);
+  {
+    // Serialize with a worker between its shutdown re-check and its cv
+    // wait, then wake the whole team for the join.
+    std::lock_guard<std::mutex> g(park_mu_);
+  }
+  park_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (tls_runtime == this) tls_runtime = nullptr;
   finalize_observability();
   dep_map_.clear();
 }
@@ -170,7 +199,20 @@ void Runtime::finalize_observability() {
 Task* Runtime::allocate_task(const TaskOpts& opts) {
   TDG_REQUIRE(opts.detach == nullptr || !opts.detach->fulfilled(),
               "detach event fulfilled before the task was submitted");
-  Task* t = new Task(next_task_id_.fetch_add(1, std::memory_order_relaxed));
+  // Slab allocation: discovery recycles fixed-size blocks instead of
+  // paying a global-heap new/delete per task (PTSG replay allocates
+  // nothing either way).
+  TaskArena::Source src;
+  void* mem = arena_.allocate(current_slot(), src);
+  Task* t = new (mem)
+      Task(next_task_id_.fetch_add(1, std::memory_order_relaxed), &arena_);
+  if (metrics_->enabled()) switch (src) {
+    case TaskArena::Source::Recycled: madd(m_.slab_recycled); break;
+    case TaskArena::Source::NewChunk:
+      madd(m_.slab_chunks);
+      [[fallthrough]];
+    case TaskArena::Source::Fresh: madd(m_.slab_fresh); break;
+  }
   t->opts = opts;
   t->t_create = now_ns();
   if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
@@ -300,15 +342,83 @@ void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
     run_task(t, thread_hint);
     return;
   }
-  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst: pairs with the parked worker's ready re-check (Dekker) — see
+  // park_worker().
+  ready_count_.fetch_add(1, std::memory_order_seq_cst);
   madd(m_.spawns);
   metrics_->gauge_add(m_.ready_depth, +1, thread_hint);
   // Depth-first heuristic: a newly-ready successor goes to the head of the
   // completing thread's deque so it runs right after its producer, while
   // its data is still cached. Fresh root tasks also go to the head; in
-  // FIFO mode the owner pops from the tail instead.
+  // FIFO mode the owner pops from the tail instead. The Chase-Lev bottom
+  // is single-owner, so only the thread that owns the hinted slot may
+  // push there; anyone else (foreign-thread detach fulfilment, nested
+  // runtimes) goes through the inject queue.
   (void)successor;
-  deques_[thread_hint]->push_front(t);
+  if (tls_runtime == this && thread_hint == tls_slot &&
+      thread_hint < deques_.size()) {
+    deques_[thread_hint]->push_front(t);
+  } else {
+    push_inject(t);
+  }
+  wake_one_worker();
+}
+
+void Runtime::push_inject(Task* t) {
+  SpinGuard g(inject_lock_);
+  inject_.push_back(t);
+  inject_count_.store(inject_.size(), std::memory_order_release);
+}
+
+Task* Runtime::pop_inject() {
+  if (inject_count_.load(std::memory_order_acquire) == 0) return nullptr;
+  SpinGuard g(inject_lock_);
+  if (inject_.empty()) return nullptr;
+  Task* t = inject_.front();
+  inject_.erase(inject_.begin());
+  inject_count_.store(inject_.size(), std::memory_order_release);
+  return t;
+}
+
+void Runtime::wake_one_worker() {
+  // One seq_cst load on the hot enqueue path; the mutex is only touched
+  // when somebody is actually parked. Taking and dropping park_mu_ before
+  // notifying closes the race against a worker that passed its re-check
+  // but has not yet entered cv.wait (it holds the mutex for that window).
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  { std::lock_guard<std::mutex> g(park_mu_); }
+  park_cv_.notify_one();
+  madd(m_.wakeups);
+}
+
+void Runtime::park_worker(unsigned slot) {
+  metrics_->add(m_.parks, 1, slot);
+  std::unique_lock<std::mutex> lk(park_mu_);
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker pairing with enqueue_ready: the producer increments
+  // ready_count_ (seq_cst) and then loads parked_; we increment parked_
+  // and then load ready_count_. At least one side observes the other, so
+  // either the producer notifies or we skip the wait entirely.
+  const bool may_sleep =
+      ready_count_.load(std::memory_order_seq_cst) == 0 &&
+      !shutdown_.load(std::memory_order_acquire);
+  if (may_sleep) {
+    // Bounded wait: parked workers still service the polling hook (MPI
+    // progress, held fault-injection deliveries) and deferred-retry
+    // deadlines at this cadence, and the watchdog's progress epoch keeps
+    // advancing as long as someone executes tasks.
+    std::uint64_t wait_ns = 2'000'000;  // 2 ms
+    const std::uint64_t nd =
+        next_deferred_ns_.load(std::memory_order_relaxed);
+    if (nd != UINT64_MAX) {
+      const std::uint64_t now = now_ns();
+      wait_ns = nd > now ? std::min(wait_ns, nd - now) : 0;
+    }
+    if (wait_ns > 0) {
+      park_cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
+    }
+  }
+  parked_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Runtime::run_task(Task* t, unsigned thread) {
@@ -326,8 +436,20 @@ void Runtime::run_task(Task* t, unsigned thread) {
     watchdog_.note_progress();
     Task* prev_current = tls_current_task;
     tls_current_task = t;
-    if (!t->body.empty()) ok = run_body_with_retries(t);
+    BodyOutcome oc = BodyOutcome::Success;
+    if (!t->body.empty()) oc = run_body_with_retries(t);
     tls_current_task = prev_current;
+    if (oc == BodyOutcome::Deferred) {
+      // The attempt failed but the retry budget is not exhausted. Instead
+      // of sleeping out the backoff on this worker, park the task on the
+      // deferred queue with a not-before deadline and move on. The
+      // completion latch is untouched — the task is still pending and
+      // comes back through run_task once the deadline passes.
+      profiler_->add_work(thread, now_ns() - t->t_start);
+      schedule_retry(t);
+      return;
+    }
+    ok = oc == BodyOutcome::Success;
   }
   const std::uint64_t t_body_end = now_ns();
   profiler_->add_work(thread, t_body_end - t->t_start);
@@ -349,28 +471,74 @@ void Runtime::run_task(Task* t, unsigned thread) {
   profiler_->add_overhead(thread, now_ns() - t_body_end);
 }
 
-bool Runtime::run_body_with_retries(Task* t) {
-  std::uint32_t attempt = 0;
+Runtime::BodyOutcome Runtime::run_body_with_retries(Task* t) {
+  // Attempts are counted on the task itself so the count survives a trip
+  // through the deferred-retry queue.
   for (;;) {
     try {
       t->body.invoke();
-      return true;
+      t->retry_attempts = 0;
+      return BodyOutcome::Success;
     } catch (...) {
-      ++attempt;
+      const std::uint32_t attempt = ++t->retry_attempts;
       if (attempt > t->opts.max_retries) {
         record_failure(t, std::current_exception(), attempt);
-        return false;
+        return BodyOutcome::Failed;
       }
       task_retries_.fetch_add(1, std::memory_order_relaxed);
       watchdog_.note_progress();  // a retry attempt is forward progress
       if (t->opts.retry_backoff_seconds > 0.0) {
+        // The old implementation slept the backoff out right here,
+        // stalling this worker for the whole window. Hand the task back
+        // with a not-before deadline instead; the caller requeues it and
+        // the worker stays available for other work.
         const double backoff =
             t->opts.retry_backoff_seconds *
             static_cast<double>(1u << std::min(attempt - 1, 20u));
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        t->retry_not_before_ns =
+            now_ns() + static_cast<std::uint64_t>(backoff * 1e9);
+        return BodyOutcome::Deferred;
       }
+      // Zero backoff: retry immediately, inline.
     }
   }
+}
+
+void Runtime::schedule_retry(Task* t) {
+  t->state.store(TaskState::Ready, std::memory_order_relaxed);
+  madd(m_.retry_defers);
+  const std::uint64_t deadline = t->retry_not_before_ns;
+  // The gate update stays under the lock so it can't race with the
+  // recompute in take_due_deferred and strand a task behind a stale
+  // UINT64_MAX.
+  SpinGuard g(deferred_lock_);
+  deferred_.push_back(DeferredTask{deadline, t});
+  if (deadline < next_deferred_ns_.load(std::memory_order_relaxed)) {
+    next_deferred_ns_.store(deadline, std::memory_order_release);
+  }
+}
+
+Task* Runtime::take_due_deferred() {
+  const std::uint64_t nd = next_deferred_ns_.load(std::memory_order_acquire);
+  if (nd == UINT64_MAX || now_ns() < nd) return nullptr;
+  SpinGuard g(deferred_lock_);
+  if (deferred_.empty()) return nullptr;
+  const std::uint64_t now = now_ns();
+  Task* due = nullptr;
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    if (deferred_[i].not_before_ns <= now) {
+      due = deferred_[i].task;
+      deferred_[i] = deferred_.back();
+      deferred_.pop_back();
+      break;
+    }
+  }
+  std::uint64_t next = UINT64_MAX;
+  for (const DeferredTask& d : deferred_) {
+    next = std::min(next, d.not_before_ns);
+  }
+  next_deferred_ns_.store(next, std::memory_order_release);
+  return due;
 }
 
 void Runtime::record_failure(Task* t, std::exception_ptr err,
@@ -438,21 +606,60 @@ void Runtime::complete_task(Task* t, unsigned thread) {
   if (!keep) t->release();  // drop the self-reference
 }
 
+unsigned Runtime::victim_offset(unsigned slot, unsigned n) {
+  // Per-slot xorshift64; relaxed atomics only to keep TSAN quiet when a
+  // foreign thread probes through a slot it shares with a worker.
+  std::uint64_t x = victim_rng_[slot].s.load(std::memory_order_relaxed);
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  victim_rng_[slot].s.store(x, std::memory_order_relaxed);
+  return static_cast<unsigned>(x % (n - 1));
+}
+
 bool Runtime::try_execute_one(unsigned slot) {
   const std::uint64_t t0 = now_ns();
-  WorkDeque& own = *deques_[slot];
-  Task* t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
-                                                          : own.pop_back();
-  const bool stole = t == nullptr;
+  // Attribution sample, taken once up front: the old code read
+  // ready_count_ *after* the failed probes, so a task enqueued and taken
+  // elsewhere during the scan flipped genuine idle time into
+  // "overhead + steal failure".
+  const bool work_existed = ready_count_.load(std::memory_order_relaxed) > 0;
+  // Deferred-retry gate inlined here: one relaxed load on the common path
+  // (nothing deferred); the queue scan only runs when a deadline is set.
+  Task* t = next_deferred_ns_.load(std::memory_order_relaxed) != UINT64_MAX
+                ? take_due_deferred()
+                : nullptr;
+  const bool deferred = t != nullptr;
+  bool stole = false;
   if (t == nullptr) {
-    const unsigned n = num_threads();
-    for (unsigned k = 1; k < n && t == nullptr; ++k) {
-      t = deques_[(slot + k) % n]->steal();
+    WorkDeque& own = *deques_[slot];
+    if (tls_runtime == this && tls_slot == slot) {
+      t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
+                                                        : own.pop_back();
+    } else {
+      // A foreign thread (nested runtime, external helper) must not touch
+      // the Chase-Lev bottom; it competes through the steal CAS instead.
+      t = own.steal();
+    }
+    if (t == nullptr) t = pop_inject();
+    if (t == nullptr) {
+      const unsigned n = num_threads();
+      if (n > 1) {
+        // Random rotation over the other n-1 slots: every victim is
+        // probed exactly once, but the starting point varies so thieves
+        // don't convoy on the same victim.
+        const unsigned start = victim_offset(slot, n);
+        for (unsigned k = 0; k < n - 1 && t == nullptr; ++k) {
+          const unsigned v = (slot + 1 + (start + k) % (n - 1)) % n;
+          t = deques_[v]->steal();
+        }
+        stole = t != nullptr;
+      }
     }
   }
   const std::uint64_t t1 = now_ns();
   if (t == nullptr) {
-    if (ready_count_.load(std::memory_order_relaxed) > 0) {
+    if (work_existed) {
       profiler_->add_overhead(slot, t1 - t0);
       // Work existed somewhere but every probe came up empty.
       metrics_->add(m_.steal_failures, 1, slot);
@@ -462,8 +669,12 @@ bool Runtime::try_execute_one(unsigned slot) {
     return false;
   }
   if (stole) metrics_->add(m_.steals, 1, slot);
-  ready_count_.fetch_sub(1, std::memory_order_relaxed);
-  metrics_->gauge_add(m_.ready_depth, -1, slot);
+  if (!deferred) {
+    // Deferred retries left the ready count when they were first taken;
+    // don't decrement twice.
+    ready_count_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_->gauge_add(m_.ready_depth, -1, slot);
+  }
   profiler_->add_overhead(slot, t1 - t0);
   run_task(t, slot);
   return true;
@@ -471,19 +682,31 @@ bool Runtime::try_execute_one(unsigned slot) {
 
 void Runtime::worker_loop(unsigned slot) {
   tls_slot = slot;
+  tls_runtime = this;
+  Backoff bo;
   while (true) {
-    if (try_execute_one(slot)) continue;
+    if (try_execute_one(slot)) {
+      bo.reset();
+      continue;
+    }
     if (shutdown_.load(std::memory_order_acquire)) break;
     const std::uint64_t t0 = now_ns();
+    const bool work_existed =
+        ready_count_.load(std::memory_order_relaxed) > 0;
     poll();
-    std::this_thread::yield();
+    if (bo.should_park()) {
+      park_worker(slot);
+    } else {
+      bo.pause();
+    }
     const std::uint64_t t1 = now_ns();
-    if (ready_count_.load(std::memory_order_relaxed) > 0) {
+    if (work_existed) {
       profiler_->add_overhead(slot, t1 - t0);
     } else {
       profiler_->add_idle(slot, t1 - t0);
     }
   }
+  tls_runtime = nullptr;
 }
 
 void Runtime::taskwait() {
@@ -495,11 +718,17 @@ void Runtime::drain() {
   const unsigned slot = current_slot();
   arm_watchdog_baseline();
   Watchdog::Scope ws(&watchdog_, "taskwait");
+  Backoff bo;
   while (pending_.load(std::memory_order_acquire) > 0) {
-    if (!try_execute_one(slot)) {
+    if (try_execute_one(slot)) {
+      bo.reset();
+    } else {
       poll();
       ws.poll();
-      std::this_thread::yield();
+      // Spin-then-yield-then-sleep: the sleep tail is capped well below
+      // the watchdog/poll cadence, so hooks stay serviced while an empty
+      // wait stops burning the core the workers need.
+      bo.pause();
     }
   }
 }
@@ -526,12 +755,15 @@ void Runtime::throttle(unsigned slot) {
   madd(m_.throttle_stalls);
   arm_watchdog_baseline();
   Watchdog::Scope ws(&watchdog_, "throttle");
+  Backoff bo;
   while (ready_count_.load(std::memory_order_relaxed) > th.max_ready ||
          live_tasks_.load(std::memory_order_relaxed) > th.max_total) {
-    if (!try_execute_one(slot)) {
+    if (try_execute_one(slot)) {
+      bo.reset();
+    } else {
       poll();
       ws.poll();
-      std::this_thread::yield();
+      bo.pause();
       if (pending_.load(std::memory_order_acquire) == 0) break;
     }
   }
@@ -589,6 +821,14 @@ void Runtime::arm_watchdog_baseline() {
 void Runtime::runtime_diagnostic(std::string& out) const {
   out += "\n  live tasks: " + std::to_string(live_tasks()) + " (ready " +
          std::to_string(ready_tasks()) + ")";
+  out += "\n  parked workers: " +
+         std::to_string(parked_.load(std::memory_order_relaxed));
+  {
+    SpinGuard dg(deferred_lock_);
+    if (!deferred_.empty()) {
+      out += "\n  deferred retries: " + std::to_string(deferred_.size());
+    }
+  }
   // Counter deltas since the stalled wait was armed: a hang report that
   // shows "0 steals, 0 completions since arming" pinpoints starvation vs
   // livelock at a glance.

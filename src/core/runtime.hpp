@@ -8,9 +8,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -22,6 +24,7 @@
 #include "core/metrics.hpp"
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
+#include "core/slab.hpp"
 #include "core/task.hpp"
 #include "core/trace_export.hpp"
 #include "core/watchdog.hpp"
@@ -48,7 +51,14 @@ struct RuntimeMetricIds {
   Id steals;            ///< counter sched.steals
   Id steal_failures;    ///< counter sched.steal_failures
   Id throttle_stalls;   ///< counter sched.throttle_stalls
+  Id parks;             ///< counter sched.parks (worker cv waits)
+  Id wakeups;           ///< counter sched.wakeups (cv notifies sent)
+  Id retry_defers;      ///< counter sched.retry_defers (backoff requeues)
   Id ready_depth;       ///< gauge   sched.ready_depth
+  // task descriptor slab allocator
+  Id slab_recycled;     ///< counter alloc.slab_recycled (freelist hits)
+  Id slab_fresh;        ///< counter alloc.slab_fresh (bump-carved blocks)
+  Id slab_chunks;       ///< counter alloc.slab_chunks (chunk carves)
   // execution
   Id tasks_executed;    ///< counter exec.tasks
   Id body_ns;           ///< histogram exec.body_ns
@@ -216,6 +226,10 @@ class Runtime : public DiscoveryHooks {
   unsigned num_threads() const {
     return static_cast<unsigned>(deques_.size());
   }
+  /// The slab arena backing task descriptors (leak checks in tests:
+  /// live_blocks() returns to the dependency map's holdover count after a
+  /// drain, and to zero after clear_dependency_scope()).
+  const TaskArena& task_arena() const { return arena_; }
   const Config& config() const { return cfg_; }
   /// Live tasks = created and not yet finished. Ready = queued, not started.
   std::size_t live_tasks() const {
@@ -258,9 +272,31 @@ class Runtime : public DiscoveryHooks {
   void enqueue_ready(Task* t, unsigned thread_hint, bool successor);
   void run_task(Task* t, unsigned thread);
   void complete_task(Task* t, unsigned thread);
-  /// Execute the body with the task's retry policy; returns true on
-  /// success, false once the task is declared failed (failure recorded).
-  bool run_body_with_retries(Task* t);
+  /// Outcome of one scheduling of a task body under the retry policy.
+  enum class BodyOutcome : std::uint8_t {
+    Success,   ///< body returned (possibly after immediate retries)
+    Failed,    ///< retry budget exhausted; failure recorded
+    Deferred,  ///< transient failure with backoff: requeue, don't complete
+  };
+  /// Execute the body with the task's retry policy. Zero-backoff retries
+  /// loop inline; a nonzero backoff returns Deferred with
+  /// `t->retry_not_before_ns` set, and the caller requeues the task so
+  /// the worker keeps executing other ready tasks instead of sleeping.
+  BodyOutcome run_body_with_retries(Task* t);
+  /// Park the deferred retry until its not-before deadline.
+  void schedule_retry(Task* t);
+  /// Pop one deferred task whose deadline has passed (nullptr if none).
+  Task* take_due_deferred();
+  /// Cross-thread ready-queue: enqueues from threads that do not own the
+  /// hinted deque (e.g. an external thread fulfilling a detach event).
+  void push_inject(Task* t);
+  Task* pop_inject();
+  /// Worker idle parking (spin ladder exhausted): wait on the team
+  /// condition variable until work may exist, bounded so the polling hook
+  /// and deferred deadlines are still serviced.
+  void park_worker(unsigned slot);
+  /// Wake one parked worker if any (called after publishing ready work).
+  void wake_one_worker();
   void record_failure(Task* t, std::exception_ptr err, std::uint32_t tries);
   void record_cancelled(Task* t);
   /// taskwait minus the failure rethrow (used by destructors, which must
@@ -273,6 +309,8 @@ class Runtime : public DiscoveryHooks {
   /// Try to obtain and run one task from the calling slot; returns false
   /// if none was available anywhere.
   bool try_execute_one(unsigned thread);
+  /// Random starting rotation for the victim scan (requires n > 1).
+  unsigned victim_offset(unsigned slot, unsigned n);
   void worker_loop(unsigned slot);
   void throttle(unsigned thread);
   void poll();
@@ -299,10 +337,47 @@ class Runtime : public DiscoveryHooks {
   std::unique_ptr<Profiler> profiler_;
   Watchdog watchdog_;
   DependencyMap dep_map_;
+  /// Slab arena for task descriptors; declared before the deques so any
+  /// straggling release during member teardown still finds it alive.
+  TaskArena arena_;
   std::vector<std::unique_ptr<WorkDeque>> deques_;
+  /// Per-slot xorshift state for randomized victim selection (relaxed
+  /// atomics: external threads may share slot 0's stream).
+  struct alignas(kCacheLine) VictimRng {
+    std::atomic<std::uint64_t> s;
+  };
+  std::vector<VictimRng> victim_rng_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<Event>> events_;
   mutable SpinLock events_lock_;  // also taken by the watchdog diagnostic
+
+  // Worker parking: spin-then-yield-then-park. parked_ is read with a
+  // seq_cst load on every enqueue (the Dekker pairing with the parking
+  // worker's ready_count_ re-check), the mutex+cv only on the idle path.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<unsigned> parked_{0};
+
+  /// Injected ready tasks from threads that do not own a deque slot
+  /// (detach fulfilment from foreign threads, nested-runtime producers).
+  mutable SpinLock inject_lock_;
+  std::vector<Task*> inject_;
+  /// Size mirror of inject_ so the hot probe skips the lock when empty.
+  std::atomic<std::size_t> inject_count_{0};
+
+  /// Deferred retry queue: tasks waiting out a retry backoff without
+  /// occupying a worker. Tiny (one entry per in-flight flaky task), so a
+  /// spinlocked vector scan beats a heap.
+  mutable SpinLock deferred_lock_;
+  struct DeferredTask {
+    std::uint64_t not_before_ns;
+    Task* task;
+  };
+  std::vector<DeferredTask> deferred_;
+  /// Earliest deferred deadline (UINT64_MAX when none): the hot-path
+  /// gate so try_execute_one pays one relaxed load when no retry is
+  /// pending.
+  std::atomic<std::uint64_t> next_deferred_ns_{UINT64_MAX};
 
   /// The polling hook is installed/cleared concurrently with workers
   /// invoking it (e.g. a RequestPoller tearing down), so pollers pin the

@@ -5,10 +5,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <limits>
 
 #include "core/common.hpp"
+#include "core/deque.hpp"
 #include "core/task.hpp"
 
 namespace tdg {
@@ -29,48 +29,30 @@ struct ThrottleConfig {
   std::size_t max_total = 10'000'000;
 };
 
-/// A mutex-protected double-ended work queue. The owner pushes/pops at the
-/// front; thieves take from the back (the oldest work, which in depth-first
-/// mode is the coarsest-grained and farthest from the victim's cache).
+/// Per-thread work deque, a thin policy adapter over the lock-free
+/// Chase-Lev deque (core/deque.hpp). The owner pushes and pops at the
+/// front (the Chase-Lev *bottom*); thieves take from the back (the *top* —
+/// the oldest work, which in depth-first mode is the coarsest-grained and
+/// farthest from the victim's cache). In FIFO breadth-first mode the owner
+/// wants the oldest task too, so it self-steals from the top: Chase-Lev
+/// explicitly supports the owner competing through the steal CAS.
 class WorkDeque {
  public:
-  void push_front(Task* t) {
-    SpinGuard g(lock_);
-    dq_.push_front(t);
-  }
-  void push_back(Task* t) {
-    SpinGuard g(lock_);
-    dq_.push_back(t);
-  }
-  Task* pop_front() {
-    SpinGuard g(lock_);
-    if (dq_.empty()) return nullptr;
-    Task* t = dq_.front();
-    dq_.pop_front();
-    return t;
-  }
-  Task* pop_back() {
-    SpinGuard g(lock_);
-    if (dq_.empty()) return nullptr;
-    Task* t = dq_.back();
-    dq_.pop_back();
-    return t;
-  }
-  /// Steal the oldest task.
-  Task* steal() { return pop_back(); }
+  /// Owner only.
+  void push_front(Task* t) { dq_.push_bottom(t); }
+  /// Owner only: newest task (depth-first LIFO).
+  Task* pop_front() { return dq_.pop_bottom(); }
+  /// Oldest task via the steal CAS (FIFO owner path; safe from any
+  /// thread).
+  Task* pop_back() { return dq_.steal_top(); }
+  /// Steal the oldest task (any thread).
+  Task* steal() { return dq_.steal_top(); }
 
-  bool empty() const {
-    SpinGuard g(lock_);
-    return dq_.empty();
-  }
-  std::size_t size() const {
-    SpinGuard g(lock_);
-    return dq_.size();
-  }
+  bool empty() const { return dq_.approx_empty(); }
+  std::size_t size() const { return dq_.approx_size(); }
 
  private:
-  mutable SpinLock lock_;
-  std::deque<Task*> dq_;
+  ChaseLevDeque<Task> dq_;
 };
 
 }  // namespace tdg

@@ -1,0 +1,143 @@
+// Slab / freelist arena for task descriptors, replacing the global-heap
+// `new`/`delete` per discovered task. Discovery is sequential (single
+// producer), so allocation is effectively single-threaded, but tasks are
+// *freed* by whichever thread drops the last reference — usually a worker
+// completing the task. The arena therefore splits the two paths:
+//
+//  * allocate(shard): owner-local freelist, then a wait-free grab of the
+//    whole remote-free stack, then a bump pointer into the shard's current
+//    slab chunk, then a new chunk (the only path that takes a lock, once
+//    per kBlocksPerChunk tasks).
+//  * deallocate(p): a single CAS push onto a Treiber stack from any
+//    thread. Consumers never pop individual nodes — allocate() exchanges
+//    the whole stack head with nullptr — so the classic ABA problem cannot
+//    arise.
+//
+// Blocks are fixed-size, cache-line aligned and recycled indefinitely;
+// chunk memory is only returned to the OS when the arena is destroyed
+// (after the owning runtime has drained, so no task can outlive it).
+// PTSG replay is untouched by design: replayed iterations allocate no
+// descriptors at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+class TaskArena {
+ public:
+  /// Blocks handed out per chunk carve. 256 blocks of ~5 cache lines is a
+  /// ~80 KiB chunk: big enough to amortize the lock, small enough that a
+  /// tiny runtime (tests, single taskwait) does not balloon.
+  static constexpr std::size_t kBlocksPerChunk = 256;
+
+  /// Where an allocation came from (drives the alloc.slab_* counters).
+  enum class Source : std::uint8_t {
+    Recycled,  ///< served from a freelist (local or grabbed remote stack)
+    Fresh,     ///< bump-carved from the shard's current chunk
+    NewChunk,  ///< fresh, and a new chunk had to be allocated first
+  };
+
+  /// `block_bytes` is the fixed block size (rounded up to a cache line);
+  /// `nshards` is the worker-team size (shard i is only ever used by
+  /// thread slot i, matching the runtime's single-producer discipline).
+  TaskArena(std::size_t block_bytes, unsigned nshards)
+      : block_bytes_((block_bytes + kCacheLine - 1) & ~(kCacheLine - 1)),
+        shards_(nshards > 0 ? nshards : 1) {}
+
+  ~TaskArena() {
+    for (void* c : chunks_) {
+      ::operator delete(c, std::align_val_t{kCacheLine});
+    }
+  }
+  TaskArena(const TaskArena&) = delete;
+  TaskArena& operator=(const TaskArena&) = delete;
+
+  /// Allocate one block. Owner-sharded: concurrent calls with the same
+  /// `shard` are not allowed (the runtime's submission path is already
+  /// single-producer).
+  void* allocate(unsigned shard, Source& src) {
+    Shard& s = shards_[shard < shards_.size() ? shard : 0];
+    FreeNode* n = s.local;
+    if (n == nullptr) {
+      // Grab the entire remote-free stack in one exchange (wait-free).
+      n = remote_.exchange(nullptr, std::memory_order_acquire);
+    }
+    if (n != nullptr) {
+      s.local = n->next;
+      live_blocks_.fetch_add(1, std::memory_order_relaxed);
+      src = Source::Recycled;
+      return n;
+    }
+    src = Source::Fresh;
+    if (s.bump == s.bump_end) {
+      carve_chunk(s);
+      src = Source::NewChunk;
+    }
+    void* p = s.bump;
+    s.bump += block_bytes_;
+    live_blocks_.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  /// Return one block (any thread, lock-free).
+  void deallocate(void* p) noexcept {
+    FreeNode* n = static_cast<FreeNode*>(p);
+    FreeNode* head = remote_.load(std::memory_order_relaxed);
+    do {
+      n->next = head;
+    } while (!remote_.compare_exchange_weak(head, n,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+    live_blocks_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+  /// Blocks currently handed out (allocated minus freed) — the leak check
+  /// used by the churn test: zero once every task descriptor was released.
+  std::size_t live_blocks() const {
+    return live_blocks_.load(std::memory_order_relaxed);
+  }
+  /// Chunks carved so far (monotonic; memory high-water mark).
+  std::size_t chunks_allocated() const {
+    SpinGuard g(chunks_lock_);
+    return chunks_.size();
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct alignas(kCacheLine) Shard {
+    FreeNode* local = nullptr;        // owner-thread only
+    unsigned char* bump = nullptr;    // owner-thread only
+    unsigned char* bump_end = nullptr;
+  };
+
+  void carve_chunk(Shard& s) {
+    const std::size_t bytes = block_bytes_ * kBlocksPerChunk;
+    void* chunk = ::operator new(bytes, std::align_val_t{kCacheLine});
+    {
+      SpinGuard g(chunks_lock_);
+      chunks_.push_back(chunk);
+    }
+    s.bump = static_cast<unsigned char*>(chunk);
+    s.bump_end = s.bump + bytes;
+  }
+
+  const std::size_t block_bytes_;
+  alignas(kCacheLine) std::atomic<FreeNode*> remote_{nullptr};
+  alignas(kCacheLine) std::atomic<std::size_t> live_blocks_{0};
+  std::vector<Shard> shards_;
+  mutable SpinLock chunks_lock_;
+  std::vector<void*> chunks_;
+};
+
+}  // namespace tdg

@@ -12,6 +12,7 @@
 
 #include "core/common.hpp"
 #include "core/depend_types.hpp"
+#include "core/slab.hpp"
 
 namespace tdg {
 
@@ -170,9 +171,13 @@ struct TaskOpts {
 /// A task descriptor. Instances are reference counted: the dependency map,
 /// the persistent region and the task itself (until completion) each hold a
 /// reference, so a pointer obtained from the map is always valid.
+/// Descriptors are normally placement-constructed in a TaskArena slab
+/// block (Runtime::allocate_task) and recycled on final release; a
+/// plain-`new`ed descriptor (arena == nullptr) still works for tests.
 class Task {
  public:
-  explicit Task(std::uint64_t id) : id_(id) {}
+  explicit Task(std::uint64_t id, TaskArena* arena = nullptr)
+      : id_(id), arena_(arena) {}
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
 
@@ -180,10 +185,18 @@ class Task {
 
   // --- descriptor reference counting -------------------------------------
   void retain() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
-  /// Returns true when this release destroyed the task.
+  /// Returns true when this release destroyed the task. The block goes
+  /// back to the owning arena's freelist (lock-free, any thread) instead
+  /// of the global heap.
   bool release() noexcept {
     if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      delete this;
+      TaskArena* a = arena_;
+      if (a != nullptr) {
+        this->~Task();
+        a->deallocate(this);
+      } else {
+        delete this;
+      }
       return true;
     }
     return false;
@@ -241,6 +254,7 @@ class Task {
     finished_flag_ = false;
     poisoned_flag_ = false;
     failed = false;
+    retry_attempts = 0;  // each replayed instance gets the full budget
     cancelled.store(false, std::memory_order_relaxed);
   }
 
@@ -263,6 +277,13 @@ class Task {
   /// Set by the executing thread after the final failed attempt, before
   /// the completion-latch decrement (which orders it for the completer).
   bool failed = false;
+  /// Attempts already burned by the retry policy. Persists across
+  /// deferred-retry requeues (the task leaves and re-enters the scheduler
+  /// between attempts instead of sleeping on a worker).
+  std::uint32_t retry_attempts = 0;
+  /// Earliest time the next retry attempt may run (set when the body
+  /// failed with a nonzero backoff; consumed by the deferred queue).
+  std::uint64_t retry_not_before_ns = 0;
 
   // --- persistent-graph bookkeeping -----------------------------------------
   bool persistent = false;
@@ -293,6 +314,7 @@ class Task {
   ~Task() = default;  // heap-only; destroyed via release()
 
   const std::uint64_t id_;
+  TaskArena* arena_ = nullptr;  // recycle target; nullptr = plain heap
   std::atomic<std::int32_t> refs_{1};
 
   SpinLock succ_lock_;
