@@ -1,0 +1,157 @@
+// Microbenchmarks of the discovery data layer in isolation: per-address
+// access-history probes (the open-addressing table), edge creation across
+// in/out/inout/inoutset mixes, and address-set sizes from cache-resident to
+// spilling. Reported rates:
+//   items_per_second = edges/s for the *Mixed / *InOutSet benches
+//   items_per_second = addresses/s for the *AddressInsert bench
+//
+// BM_DiscoveryMixed/10000/1 (10k addresses, dedup on, 1 thread) is the
+// number scripts/ci_bench_smoke.sh gates against scripts/bench_baseline.txt
+// (the `discovery` line); re-record deliberately after a known perf change.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tdg.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::Runtime;
+
+Runtime::Config solo(bool dedup = true, bool redirect = true) {
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  // Keep every task alive so the benchmark measures pure discovery, and
+  // drop the metrics branch from the hot path (the overhead bench in
+  // bench_micro_runtime guards that separately).
+  cfg.throttle.max_total = static_cast<std::size_t>(-1);
+  cfg.metrics = false;
+  cfg.discovery.dedup_edges = dedup;
+  cfg.discovery.inoutset_redirect = redirect;
+  return cfg;
+}
+
+/// Edge throughput on a writer/readers/read-modify-write mix, the common
+/// shape of mesh codes (one producer, a few consumers, then an update).
+/// range(0) = address-set size (256 stays cache-resident, 10k+ spills),
+/// range(1) = optimization (b) duplicate-edge elimination on/off.
+void BM_DiscoveryMixed(benchmark::State& state) {
+  const int naddrs = static_cast<int>(state.range(0));
+  const bool dedup = state.range(1) != 0;
+  std::vector<double> addrs(static_cast<std::size_t>(naddrs));
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo(dedup));
+    state.ResumeTiming();
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < naddrs; ++i) {
+        double* a = &addrs[static_cast<std::size_t>(i)];
+        rt.submit([] {}, {Depend::out(a)});
+        rt.submit([] {}, {Depend::in(a)});
+        rt.submit([] {}, {Depend::in(a)});
+        rt.submit([] {}, {Depend::inout(a)});
+      }
+    }
+    state.PauseTiming();
+    edges += rt.stats().discovery.edges_created;
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+  state.counters["addresses"] = static_cast<double>(naddrs);
+}
+BENCHMARK(BM_DiscoveryMixed)
+    ->Args({256, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Args({100000, 1});
+
+/// inoutset generation fan-in/fan-out: 4 members + 2 consumers per address
+/// per round, with optimization (c) redirect nodes on (m+n edges) or off
+/// (m*n edges). Exercises generation open/close and redirect lifetime.
+void BM_DiscoveryInOutSet(benchmark::State& state) {
+  const int naddrs = static_cast<int>(state.range(0));
+  const bool redirect = state.range(1) != 0;
+  std::vector<double> addrs(static_cast<std::size_t>(naddrs));
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo(/*dedup=*/true, redirect));
+    state.ResumeTiming();
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < naddrs; ++i) {
+        double* a = &addrs[static_cast<std::size_t>(i)];
+        for (int m = 0; m < 4; ++m) {
+          rt.submit([] {}, {Depend::inoutset(a)});
+        }
+        rt.submit([] {}, {Depend::in(a)});
+        rt.submit([] {}, {Depend::in(a)});
+      }
+    }
+    state.PauseTiming();
+    edges += rt.stats().discovery.edges_created;
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+  state.counters["addresses"] = static_cast<double>(naddrs);
+}
+BENCHMARK(BM_DiscoveryInOutSet)
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0});
+
+/// Pure table-insert throughput: every task writes one fresh address, so
+/// each depend item is one probe + one new access-history entry and no
+/// edges. items/s = addresses/s, including table growth/rehash cost.
+void BM_DiscoveryAddressInsert(benchmark::State& state) {
+  const int naddrs = static_cast<int>(state.range(0));
+  std::vector<double> addrs(static_cast<std::size_t>(naddrs));
+  std::int64_t inserted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < naddrs; ++i) {
+      rt.submit([] {}, {Depend::out(&addrs[static_cast<std::size_t>(i)])});
+    }
+    inserted += naddrs;
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(inserted);
+}
+BENCHMARK(BM_DiscoveryAddressInsert)->Arg(10000)->Arg(100000);
+
+/// Collision-heavy pointer pattern: addresses at a constant large stride,
+/// the worst case for low-entropy pointer hashing (all keys share their
+/// low bits). A table whose hash only mixes low bits collapses to a probe
+/// chain here; the mixed hash must keep this within ~2x of the dense case.
+void BM_DiscoveryStridedAddresses(benchmark::State& state) {
+  constexpr int kAddrs = 4096;
+  constexpr std::size_t kStride = 4096;  // page-stride bases
+  std::vector<unsigned char> pool(kAddrs * kStride);
+  std::int64_t inserted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < kAddrs; ++i) {
+      rt.submit([] {}, {Depend::out(&pool[static_cast<std::size_t>(i) *
+                                         kStride])});
+    }
+    inserted += kAddrs;
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(inserted);
+}
+BENCHMARK(BM_DiscoveryStridedAddresses);
+
+}  // namespace

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Scheduler spawn-throughput smoke test.
+# Scheduler and discovery throughput smoke test.
 #
-# Runs bench_micro_runtime's BM_SpawnExecuteThroughput/1 (single-thread
-# spawn+execute: the pure discovery-path cost, no steal noise) and compares
-# items_per_second against the recorded baseline in
-# scripts/bench_baseline.txt. Fails if throughput drops below
-# MIN_FRACTION (default 0.80) of the baseline.
+# Two single-thread gates, each compared against the baseline recorded in
+# scripts/bench_baseline.txt and failing below MIN_FRACTION (default 0.80):
+#   * bench_micro_runtime's BM_SpawnExecuteThroughput/1 — the pure
+#     spawn+execute path (deque + slab allocator), no steal noise.
+#   * bench_micro_discovery's BM_DiscoveryMixed/10000/1 — the dependency-
+#     discovery path (address table + history lists) at the 10k-address mix.
 #
-# If the baseline file is missing, the current measurement is recorded as
-# the new baseline and the check passes — commit the file to pin it.
-# Re-record deliberately after a known perf change:
+# Baseline file format: line 1 is the bare spawn items/s (kept first for
+# compatibility), subsequent lines are "<name> <items/s>". A missing line
+# is recorded from the current measurement and the check passes — commit
+# the file to pin it. Re-record deliberately after a known perf change:
 #   rm scripts/bench_baseline.txt && scripts/ci_bench_smoke.sh
 set -euo pipefail
 
@@ -18,43 +20,66 @@ cd "$(dirname "$0")/.."
 build_dir=${BENCH_BUILD_DIR:-build}
 baseline_file=scripts/bench_baseline.txt
 min_fraction=${MIN_FRACTION:-0.80}
-bench_filter='BM_SpawnExecuteThroughput/1$'
 
-if [ ! -x "$build_dir"/bench/bench_micro_runtime ]; then
-  echo "=== [bench-smoke] building $build_dir ==="
-  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-        --target bench_micro_runtime
-fi
-
-echo "=== [bench-smoke] running $bench_filter ==="
-json=$("$build_dir"/bench/bench_micro_runtime \
-         --benchmark_filter="$bench_filter" \
-         --benchmark_min_time=0.2 \
-         --benchmark_format=json 2>/dev/null)
-
-current=$(printf '%s' "$json" | python3 -c '
+# measure <binary> <filter>: print items_per_second of the first iteration.
+measure() {
+  "$build_dir"/bench/"$1" \
+      --benchmark_filter="$2" \
+      --benchmark_min_time=0.2 \
+      --benchmark_format=json 2>/dev/null | python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
 bms = [b for b in doc["benchmarks"] if b.get("run_type", "iteration") == "iteration"]
 assert bms, "benchmark produced no measurements"
 print(bms[0]["items_per_second"])
-')
+'
+}
 
-if [ ! -f "$baseline_file" ]; then
-  printf '%s\n' "$current" > "$baseline_file"
-  echo "=== [bench-smoke] no baseline; recorded $current items/s ==="
-  exit 0
-fi
-
-baseline=$(head -n1 "$baseline_file")
-python3 - "$current" "$baseline" "$min_fraction" <<'EOF'
+# gate <name> <current>: compare against the named baseline line (the
+# unnamed first line for "spawn"), recording it if absent.
+gate() {
+  local name=$1 current=$2 baseline
+  if [ "$name" = spawn ]; then
+    baseline=$(head -n1 "$baseline_file" 2>/dev/null || true)
+  else
+    baseline=$(awk -v n="$name" '$1 == n { print $2 }' "$baseline_file" \
+                 2>/dev/null || true)
+  fi
+  if [ -z "$baseline" ]; then
+    if [ "$name" = spawn ]; then
+      printf '%s\n' "$current" >> "$baseline_file"
+    else
+      printf '%s %s\n' "$name" "$current" >> "$baseline_file"
+    fi
+    echo "=== [bench-smoke] no $name baseline; recorded $current items/s ==="
+    return 0
+  fi
+  python3 - "$name" "$current" "$baseline" "$min_fraction" <<'EOF'
 import sys
-current, baseline, min_fraction = map(float, sys.argv[1:4])
+name = sys.argv[1]
+current, baseline, min_fraction = map(float, sys.argv[2:5])
 ratio = current / baseline
-print(f"=== [bench-smoke] spawn throughput {current:.3e} items/s "
+print(f"=== [bench-smoke] {name} throughput {current:.3e} items/s "
       f"(baseline {baseline:.3e}, ratio {ratio:.2f}, floor {min_fraction}) ===")
 if ratio < min_fraction:
-    sys.exit(f"bench-smoke FAILED: spawn throughput regressed to "
+    sys.exit(f"bench-smoke FAILED: {name} throughput regressed to "
              f"{ratio:.0%} of baseline (floor {min_fraction:.0%})")
 EOF
+}
+
+for target in bench_micro_runtime bench_micro_discovery; do
+  if [ ! -x "$build_dir"/bench/"$target" ]; then
+    echo "=== [bench-smoke] building $build_dir/$target ==="
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+          --target "$target"
+  fi
+done
+
+echo "=== [bench-smoke] running BM_SpawnExecuteThroughput/1 ==="
+spawn=$(measure bench_micro_runtime 'BM_SpawnExecuteThroughput/1$')
+echo "=== [bench-smoke] running BM_DiscoveryMixed/10000/1 ==="
+discovery=$(measure bench_micro_discovery 'BM_DiscoveryMixed/10000/1$')
+
+gate spawn "$spawn"
+gate discovery "$discovery"

@@ -48,6 +48,15 @@ for san in "${sanitizers[@]}"; do
   ASAN_OPTIONS="detect_leaks=1" \
     "$dir"/tests/test_deque --gtest_filter='ChaseLevDequeStress.*' \
           --gtest_repeat=3
+
+  echo "=== [$san] discovery data-layer stress ==="
+  # Table churn, 10k-address generations and entry-lifetime accounting:
+  # the paths where a stale lookup-cache hit or a missed release would
+  # surface as a use-after-free / leak only under the sanitizers.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "$dir"/tests/test_discovery --gtest_filter='DiscoveryTable.*' \
+          --gtest_repeat=3
 done
 
 echo "=== sanitizer runs passed: ${sanitizers[*]} ==="

@@ -6,7 +6,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <new>
 #include <thread>
+#include <type_traits>
 
 namespace tdg {
 
@@ -28,9 +31,24 @@ inline std::uint64_t now_ns() {
 /// (per-task successor lists); never held across user code.
 class SpinLock {
  public:
+  /// Spins are bounded before yielding the core: when threads outnumber
+  /// cores (producer + worker on one CPU), a holder preempted inside the
+  /// critical section would otherwise cost the spinner its entire
+  /// scheduling quantum — milliseconds burned guarding a nanosecond
+  /// section, the dominant term of discovery throughput on small machines.
+  static constexpr int kSpinsBeforeYield = 128;
+
   void lock() noexcept {
+    int spins = 0;
     while (flag_.test_and_set(std::memory_order_acquire)) {
-      while (flag_.test(std::memory_order_relaxed)) cpu_relax();
+      while (flag_.test(std::memory_order_relaxed)) {
+        if (++spins < kSpinsBeforeYield) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
     }
   }
   bool try_lock() noexcept {
@@ -123,5 +141,138 @@ class Backoff {
 
 /// Cache-line size used for padding hot atomics.
 inline constexpr std::size_t kCacheLine = 64;
+
+/// Inline-first vector for the discovery/graph hot paths: the first N
+/// elements live inside the object (no heap traffic for the common case —
+/// a task's few successors, an address's last writer and readers), and
+/// larger sets spill to a geometrically-grown heap buffer. Restricted to
+/// trivially-copyable element types so growth is a memcpy, destruction is
+/// free, and push_back never throws between a retain() and its recording
+/// (the refcount discipline of DependencyMap/Task depends on that).
+///
+/// Layout: the heap pointer and the inline storage share a union, with
+/// `cap_ > N` discriminating — 8 bytes of header instead of a separate
+/// data pointer. Task descriptors are slab-allocated in cache-line-rounded
+/// blocks, so those 8 bytes are the difference between sizeof(Task)
+/// staying in its pre-refactor block size and every task growing a line.
+template <class T, std::size_t N>
+class small_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "small_vector is restricted to trivially-copyable types");
+  static_assert(N > 0, "small_vector needs a nonzero inline capacity");
+
+ public:
+  static constexpr std::size_t kInlineCapacity = N;
+
+  small_vector() noexcept {}
+  small_vector(const small_vector& o) { assign(o); }
+  small_vector(small_vector&& o) noexcept { steal(std::move(o)); }
+  small_vector& operator=(const small_vector& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o);
+    }
+    return *this;
+  }
+  small_vector& operator=(small_vector&& o) noexcept {
+    if (this != &o) {
+      release_heap();
+      steal(std::move(o));
+    }
+    return *this;
+  }
+  ~small_vector() { release_heap(); }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+  /// Drop the elements but keep the current (possibly spilled) capacity:
+  /// access-history entries churn through clear/refill cycles, and
+  /// re-spilling every generation would defeat the inline layout.
+  void clear() noexcept { size_ = 0; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  T* data() noexcept { return spilled() ? heap_ : inline_ptr(); }
+  const T* data() const noexcept {
+    return spilled() ? heap_ : inline_ptr();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+  /// True once the elements live on the heap instead of inline storage.
+  bool spilled() const noexcept { return cap_ > N; }
+
+  void swap(small_vector& o) noexcept {
+    small_vector tmp(std::move(o));
+    o.steal_after_release(std::move(*this));
+    steal_after_release(std::move(tmp));
+  }
+  friend void swap(small_vector& a, small_vector& b) noexcept { a.swap(b); }
+
+ private:
+  T* inline_ptr() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_ptr() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow(std::size_t new_cap) {
+    T* heap = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    std::memcpy(static_cast<void*>(heap), data(), size_ * sizeof(T));
+    release_heap();
+    heap_ = heap;
+    cap_ = static_cast<std::uint32_t>(new_cap);
+  }
+
+  void assign(const small_vector& o) {
+    if (o.size_ > cap_) grow(o.size_);
+    std::memcpy(static_cast<void*>(data()), o.data(), o.size_ * sizeof(T));
+    size_ = o.size_;
+  }
+
+  /// Take o's contents; own heap buffer (if any) must already be released.
+  void steal(small_vector&& o) noexcept {
+    if (o.spilled()) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.cap_ = N;
+    } else {
+      cap_ = N;
+      size_ = o.size_;
+      // Whole-buffer copy, not o.size_ * sizeof(T): the fixed size lets
+      // the compiler inline the copy as a few wide moves instead of a
+      // libc memcpy call — this runs on every task completion (the
+      // successor-list snapshot is a move).
+      std::memcpy(inline_, o.inline_, sizeof(inline_));
+    }
+    o.size_ = 0;
+  }
+  void steal_after_release(small_vector&& o) noexcept {
+    release_heap();
+    steal(std::move(o));
+  }
+
+  void release_heap() noexcept {
+    if (spilled()) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      cap_ = N;
+    }
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  union {
+    T* heap_;
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+  };
+};
 
 }  // namespace tdg

@@ -2,14 +2,69 @@
 
 namespace tdg {
 
-void DependencyMap::retain_into(std::vector<Task*>& v, Task* t) {
-  t->retain();
-  v.push_back(t);
+DependencyMap::~DependencyMap() {
+  clear();
+  delete[] slots_;
 }
 
-void DependencyMap::release_all(std::vector<Task*>& v) {
-  for (Task* t : v) t->release();
-  v.clear();
+void DependencyMap::grow_table() {
+  const std::size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+  Slot* fresh = new Slot[new_cap]();  // entry == nullptr marks empty
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t i = 0; i < cap_; ++i) {
+    if (slots_[i].entry == nullptr) continue;
+    std::size_t j = mix_pointer_hash(slots_[i].key) & mask;
+    while (fresh[j].entry != nullptr) j = (j + 1) & mask;
+    fresh[j] = slots_[i];
+  }
+  delete[] slots_;
+  slots_ = fresh;
+  if (mreg_ != nullptr) {
+    mreg_->add(mids_.rehash);
+    mreg_->gauge_add(mids_.arena_bytes,
+                     static_cast<std::int64_t>((new_cap - cap_) *
+                                               sizeof(Slot)));
+  }
+  cap_ = new_cap;
+  ++rehashes_;
+}
+
+DependencyMap::AddrEntry& DependencyMap::lookup(const void* addr) {
+  if (addr == last_addr_ && last_entry_ != nullptr) return *last_entry_;
+  // Grow before probing so the insert below always finds a free slot and
+  // the load factor stays under 3/4 (probe sequences stay short).
+  if ((size_ + 1) * 4 > cap_ * 3) grow_table();
+  const std::size_t mask = cap_ - 1;
+  std::size_t i = mix_pointer_hash(addr) & mask;
+  std::uint64_t probes = 1;
+  while (slots_[i].entry != nullptr) {
+    if (slots_[i].key == addr) {
+      if (mreg_ != nullptr) mreg_->observe(mids_.probe_len, probes);
+      last_addr_ = addr;
+      last_entry_ = slots_[i].entry;
+      return *last_entry_;
+    }
+    i = (i + 1) & mask;
+    ++probes;
+  }
+  TaskArena::Source src{};
+  AddrEntry* e = ::new (arena_.allocate(/*shard=*/0, src)) AddrEntry();
+  slots_[i].key = addr;
+  slots_[i].entry = e;
+  ++size_;
+  last_addr_ = addr;
+  last_entry_ = e;
+  if (mreg_ != nullptr) {
+    mreg_->observe(mids_.probe_len, probes);
+    mreg_->gauge_add(mids_.addr_entries, 1);
+    if (src == TaskArena::Source::NewChunk) {
+      mreg_->gauge_add(
+          mids_.arena_bytes,
+          static_cast<std::int64_t>(TaskArena::kBlocksPerChunk *
+                                    arena_.block_bytes()));
+    }
+  }
+  return *e;
 }
 
 // Order `succ` after the last modifying access of `e`. For an open inoutset
@@ -60,7 +115,7 @@ void DependencyMap::become_writer(AddrEntry& e, Task* task) {
 void DependencyMap::apply(Task* task, std::span<const Depend> deps,
                           const DiscoveryOptions& opts) {
   for (const Depend& d : deps) {
-    AddrEntry& e = entries_[d.addr];
+    AddrEntry& e = lookup(d.addr);
     switch (d.type) {
       case DependType::In:
         // Ordered after the last modifying access only; transitivity covers
@@ -109,14 +164,25 @@ void DependencyMap::apply(Task* task, std::span<const Depend> deps,
 }
 
 void DependencyMap::clear() {
-  for (auto& [addr, e] : entries_) {
-    (void)addr;
-    release_all(e.last_mod);
-    release_all(e.gen_base);
-    release_all(e.readers);
-    if (e.redirect != nullptr) e.redirect->release();
+  for (std::size_t i = 0; i < cap_; ++i) {
+    AddrEntry* e = slots_[i].entry;
+    if (e == nullptr) continue;
+    release_all(e->last_mod);
+    release_all(e->gen_base);
+    release_all(e->readers);
+    if (e->redirect != nullptr) e->redirect->release();
+    e->~AddrEntry();
+    arena_.deallocate(e);
+    slots_[i].entry = nullptr;
+    slots_[i].key = nullptr;
   }
-  entries_.clear();
+  if (mreg_ != nullptr && size_ != 0) {
+    mreg_->gauge_add(mids_.addr_entries,
+                     -static_cast<std::int64_t>(size_));
+  }
+  size_ = 0;
+  last_addr_ = nullptr;
+  last_entry_ = nullptr;
 }
 
 }  // namespace tdg

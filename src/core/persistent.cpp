@@ -43,7 +43,6 @@ void PersistentRegion::begin_iteration() {
   } else {
     rearm_all();
     rt_.replay_active_ = true;
-    cursor_ = 0;
     replayed_ = 0;
   }
   rt_.discovery_begin_ns_ = 0;  // per-iteration discovery span
@@ -68,13 +67,11 @@ void PersistentRegion::end_iteration() {
   discovery_seconds_.push_back(rt_.stats().discovery_seconds());
   if (iterations_done_ == 0) {
     // Discovery is over: release the access history (it holds references
-    // into the cached graph) and count replayable (non-internal) tasks.
+    // into the cached graph) and compile the flat replay plan the later
+    // iterations sweep over.
     rt_.discovering_persistent_ = false;
     rt_.clear_dependency_scope();
-    replayable_count_ = 0;
-    for (const Task* t : tasks_) {
-      if (!t->opts.internal) ++replayable_count_;
-    }
+    compile_replay_plan();
   }
   rt_.replay_active_ = false;
   rt_.madd(rt_.m_.iterations);
@@ -90,34 +87,51 @@ void PersistentRegion::record_task(Task* t) {
   tasks_.push_back(t);
 }
 
-Task* PersistentRegion::next_replay_task() {
-  while (cursor_ < tasks_.size() && tasks_[cursor_]->opts.internal) {
-    ++cursor_;
-  }
-  TDG_CHECK(cursor_ < tasks_.size(),
-            "persistent region replayed more tasks than were discovered");
-  ++replayed_;
-  return tasks_[cursor_++];
-}
-
-void PersistentRegion::rearm_all() {
-  std::size_t n = 0;
-  for (Task* t : tasks_) {
-    t->rearm_persistent();
-    t->state.store(TaskState::Created, std::memory_order_relaxed);
+void PersistentRegion::compile_replay_plan() {
+  const std::size_t n = tasks_.size();
+  rearm_npred_.resize(n);
+  rearm_latch_.resize(n);
+  plan_tasks_.clear();
+  plan_copy_dst_.clear();
+  plan_copy_bytes_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    Task* t = tasks_[i];
     // Internal redirect nodes are not re-submitted by the producer, so
     // they carry no discovery guard; user tasks hold one until their
     // firstprivate block has been updated.
-    const std::int32_t guard = t->opts.internal ? 0 : 1;
-    t->npredecessors.store(t->persistent_indegree + guard,
-                           std::memory_order_relaxed);
-    t->completion_latch.store(t->detach_event != nullptr ? 2 : 1,
-                              std::memory_order_relaxed);
-    if (t->detach_event != nullptr) {
+    rearm_npred_[i] =
+        t->persistent_indegree + (t->opts.internal ? 0 : 1);
+    rearm_latch_[i] = t->detach_event != nullptr ? 2 : 1;
+    if (!t->opts.internal) {
+      plan_tasks_.push_back(t);
+      plan_copy_dst_.push_back(
+          t->body.trivially_copyable() ? t->body.capture_dst() : nullptr);
+      plan_copy_bytes_.push_back(
+          static_cast<std::uint32_t>(t->body.capture_bytes()));
+    }
+  }
+  replayable_count_ = plan_tasks_.size();
+}
+
+PersistentRegion::ReplayRef PersistentRegion::next_replay_slot() {
+  TDG_CHECK(replayed_ < plan_tasks_.size(),
+            "persistent region replayed more tasks than were discovered");
+  const std::size_t i = replayed_++;
+  return ReplayRef{plan_tasks_[i], plan_copy_dst_[i], plan_copy_bytes_[i]};
+}
+
+void PersistentRegion::rearm_all() {
+  const std::size_t n = tasks_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Task* t = tasks_[i];
+    t->rearm_persistent();
+    t->state.store(TaskState::Created, std::memory_order_relaxed);
+    t->npredecessors.store(rearm_npred_[i], std::memory_order_relaxed);
+    t->completion_latch.store(rearm_latch_[i], std::memory_order_relaxed);
+    if (rearm_latch_[i] == 2) {
       t->detach_event->fulfilled_.store(false, std::memory_order_relaxed);
     }
     t->iteration = iterations_done_;
-    ++n;
   }
   rt_.pending_.fetch_add(n, std::memory_order_relaxed);
   rt_.live_tasks_.fetch_add(n, std::memory_order_relaxed);

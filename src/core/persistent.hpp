@@ -8,6 +8,14 @@
 // the cached task's firstprivate capture — a memcpy — and dropping its
 // discovery guard. An implicit barrier ends every iteration, so no
 // inter-iteration edges exist.
+//
+// At the end of the first iteration the region compiles the discovered
+// graph into a flat structure-of-arrays replay plan: creation-order task
+// pointers with precomputed firstprivate copy descriptors (dst, bytes) for
+// the replay path, and precomputed re-arm predecessor counts / completion
+// latches for the barrier path. begin_iteration / end_iteration then become
+// linear sweeps over these arrays — no per-task branching on internal/
+// detach state, no pointer chasing beyond the task itself.
 #pragma once
 
 #include <cstdint>
@@ -54,19 +62,43 @@ class PersistentRegion {
  private:
   friend class Runtime;
 
+  /// One compiled replay slot, handed to Runtime::replay_submit_erased.
+  /// copy_dst is the task's stored-capture address when the capture is
+  /// trivially copyable (replay = one memcpy), nullptr otherwise (replay
+  /// goes through the type-erased update dispatch).
+  struct ReplayRef {
+    Task* task;
+    void* copy_dst;
+    std::uint32_t copy_bytes;
+  };
+
   void record_task(Task* t);        // first-iteration discovery
-  Task* next_replay_task();         // later iterations
+  /// Build the SoA replay plan from the discovered graph (end of the
+  /// first iteration, after the barrier drained every task).
+  void compile_replay_plan();
+  ReplayRef next_replay_slot();     // later iterations
   void rearm_all();                 // refcounts for the next iteration
 
   Runtime& rt_;
   std::vector<Task*> tasks_;        // creation order; holds references
-  std::size_t cursor_ = 0;          // replay cursor over non-internal tasks
   std::size_t replayed_ = 0;        // user tasks replayed this iteration
   std::size_t replayable_count_ = 0;
   std::uint32_t iterations_done_ = 0;
   bool active_ = false;
   double iter_begin_s_ = 0;
   std::vector<double> discovery_seconds_;
+
+  // Compiled replay plan (built once, at first-iteration end).
+  // Replay sweep: non-internal tasks in creation order — the producer's
+  // replay submissions map 1:1 onto these slots.
+  std::vector<Task*> plan_tasks_;
+  std::vector<void*> plan_copy_dst_;
+  std::vector<std::uint32_t> plan_copy_bytes_;
+  // Re-arm sweep: parallel to tasks_ (internal nodes included).
+  // npred = persistent_indegree + discovery guard (0 for internal nodes,
+  // which are not re-submitted); latch = 2 with a detach event, else 1.
+  std::vector<std::int32_t> rearm_npred_;
+  std::vector<std::int32_t> rearm_latch_;
 };
 
 }  // namespace tdg

@@ -52,6 +52,10 @@ void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
   edges_duplicate = reg.counter("discovery.edges_duplicate");
   edges_pruned = reg.counter("discovery.edges_pruned");
   hash_probes = reg.counter("discovery.hash_probes");
+  probe_len = reg.histogram("discovery.probe_len");
+  rehash = reg.counter("discovery.rehash");
+  addr_entries = reg.gauge("discovery.addr_entries");
+  arena_bytes = reg.gauge("discovery.arena_bytes");
   spawns = reg.counter("sched.spawns");
   steals = reg.counter("sched.steals");
   steal_failures = reg.counter("sched.steal_failures");
@@ -95,8 +99,12 @@ Runtime::Runtime(Config cfg)
   }
   trace_env_ = trace_env_config();
   if (trace_env_.mode != TraceMode::Off) cfg_.trace = true;
+  timed_ = metrics_on || cfg_.trace;
   metrics_ = std::make_unique<MetricsRegistry>(n, metrics_on);
   m_.register_into(*metrics_);
+  dep_map_.bind_metrics(
+      metrics_.get(),
+      {m_.probe_len, m_.rehash, m_.addr_entries, m_.arena_bytes});
   profiler_ = std::make_unique<Profiler>(n, cfg_.trace);
   deques_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -214,9 +222,7 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
     case TaskArena::Source::Fresh: madd(m_.slab_fresh); break;
   }
   t->opts = opts;
-  t->t_create = now_ns();
-  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
-  discovery_end_ns_ = t->t_create;
+  if (timed_) t->t_create = now_ns();
   if (opts.internal) {
     ++internal_nodes_;
     madd(m_.internal_nodes);
@@ -245,7 +251,9 @@ void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
   // Each depend item is one probe of the per-address access history.
   if (!deps.empty()) madd(m_.hash_probes, deps.size());
   dep_map_.apply(t, deps, cfg_.discovery);
-  discovery_end_ns_ = now_ns();
+  const std::uint64_t ts = now_ns();
+  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
+  discovery_end_ns_ = ts;
   // Drop the discovery guard; the task may become ready immediately.
   if (t->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     enqueue_ready(t, current_slot(), /*successor=*/false);
@@ -309,14 +317,25 @@ void Runtime::seal_internal_node(Task* node) {
 }
 
 std::uint64_t Runtime::replay_submit_erased(void (*update)(Task*, void*),
-                                            void* ctx) {
-  Task* t = region_->next_replay_task();
-  update(t, ctx);  // the paper's "single memcpy on firstprivate data"
+                                            void* ctx, const void* src,
+                                            std::size_t bytes) {
+  const PersistentRegion::ReplayRef r = region_->next_replay_slot();
+  Task* t = r.task;
+  if (src != nullptr && r.copy_dst != nullptr) {
+    // Compiled-plan fast path: the capture is trivially copyable and its
+    // destination was precomputed, so re-initialization really is the
+    // paper's "single memcpy on firstprivate data".
+    TDG_DCHECK(bytes == r.copy_bytes, "persistent replay size mismatch");
+    std::memcpy(r.copy_dst, src, bytes);
+  } else {
+    update(t, ctx);  // non-trivial capture: destroy + copy-construct
+  }
   madd(m_.replay_tasks);
   madd(m_.replay_bytes, t->body.capture_bytes());
-  t->t_create = now_ns();
-  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = t->t_create;
-  discovery_end_ns_ = t->t_create;
+  const std::uint64_t ts = now_ns();
+  t->t_create = ts;
+  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
+  discovery_end_ns_ = ts;
   if (t->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     enqueue_ready(t, current_slot(), /*successor=*/false);
   }
@@ -334,7 +353,7 @@ void Runtime::clear_dependency_scope() { dep_map_.clear(); }
 // ---------------------------------------------------------------------------
 
 void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
-  t->t_ready = now_ns();
+  if (timed_) t->t_ready = now_ns();
   t->state.store(TaskState::Ready, std::memory_order_relaxed);
   if (t->body.empty()) {
     // Runtime-internal nodes (inoutset redirects) complete inline; they
@@ -423,7 +442,7 @@ void Runtime::park_worker(unsigned slot) {
 
 void Runtime::run_task(Task* t, unsigned thread) {
   t->exec_thread = thread;
-  t->t_start = now_ns();
+  if (timed_) t->t_start = now_ns();
   // Graph poisoning: a task whose (transitive) predecessor failed reaches
   // readiness normally but its body is skipped; completing it propagates
   // cancellation to its own successors.
@@ -445,19 +464,21 @@ void Runtime::run_task(Task* t, unsigned thread) {
       // deferred queue with a not-before deadline and move on. The
       // completion latch is untouched — the task is still pending and
       // comes back through run_task once the deadline passes.
-      profiler_->add_work(thread, now_ns() - t->t_start);
+      if (timed_) profiler_->add_work(thread, now_ns() - t->t_start);
       schedule_retry(t);
       return;
     }
     ok = oc == BodyOutcome::Success;
   }
-  const std::uint64_t t_body_end = now_ns();
-  profiler_->add_work(thread, t_body_end - t->t_start);
-  if (!t->opts.internal && ok) {
-    metrics_->observe(m_.body_ns, t_body_end - t->t_start, thread);
-    metrics_->observe(
-        m_.queue_ns,
-        t->t_start >= t->t_ready ? t->t_start - t->t_ready : 0, thread);
+  const std::uint64_t t_body_end = timed_ ? now_ns() : 0;
+  if (timed_) {
+    profiler_->add_work(thread, t_body_end - t->t_start);
+    if (!t->opts.internal && ok) {
+      metrics_->observe(m_.body_ns, t_body_end - t->t_start, thread);
+      metrics_->observe(
+          m_.queue_ns,
+          t->t_start >= t->t_ready ? t->t_start - t->t_ready : 0, thread);
+    }
   }
   // A failed or cancelled task never posts the operation that would
   // fulfill its detach event; force-fulfill so the latch resolves instead
@@ -468,7 +489,7 @@ void Runtime::run_task(Task* t, unsigned thread) {
   } else {
     t->state.store(TaskState::Detached, std::memory_order_relaxed);
   }
-  profiler_->add_overhead(thread, now_ns() - t_body_end);
+  if (timed_) profiler_->add_overhead(thread, now_ns() - t_body_end);
 }
 
 Runtime::BodyOutcome Runtime::run_body_with_retries(Task* t) {
@@ -563,7 +584,7 @@ void Runtime::record_cancelled(Task* t) {
 }
 
 void Runtime::complete_task(Task* t, unsigned thread) {
-  t->t_end = now_ns();
+  if (timed_) t->t_end = now_ns();
   const bool failed = t->failed;
   const bool cancelled = !failed && t->cancelled.load(std::memory_order_acquire);
   const bool poisoned = failed || cancelled;
@@ -591,7 +612,7 @@ void Runtime::complete_task(Task* t, unsigned thread) {
     profiler_->record(thread, rec);
   }
   const bool keep = t->persistent;
-  std::vector<Task*> succs = t->snapshot_successors_and_finish(keep, poisoned);
+  Task::SuccessorList succs = t->snapshot_successors_and_finish(keep, poisoned);
   for (Task* s : succs) {
     // Poison before dropping the count: the release of fetch_sub publishes
     // the cancelled flag to whichever thread makes the successor ready.
@@ -618,7 +639,7 @@ unsigned Runtime::victim_offset(unsigned slot, unsigned n) {
 }
 
 bool Runtime::try_execute_one(unsigned slot) {
-  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t0 = timed_ ? now_ns() : 0;
   // Attribution sample, taken once up front: the old code read
   // ready_count_ *after* the failed probes, so a task enqueued and taken
   // elsewhere during the scan flipped genuine idle time into
@@ -657,14 +678,16 @@ bool Runtime::try_execute_one(unsigned slot) {
       }
     }
   }
-  const std::uint64_t t1 = now_ns();
   if (t == nullptr) {
-    if (work_existed) {
-      profiler_->add_overhead(slot, t1 - t0);
-      // Work existed somewhere but every probe came up empty.
-      metrics_->add(m_.steal_failures, 1, slot);
-    } else {
-      profiler_->add_idle(slot, t1 - t0);
+    if (timed_) {
+      const std::uint64_t t1 = now_ns();
+      if (work_existed) {
+        profiler_->add_overhead(slot, t1 - t0);
+        // Work existed somewhere but every probe came up empty.
+        metrics_->add(m_.steal_failures, 1, slot);
+      } else {
+        profiler_->add_idle(slot, t1 - t0);
+      }
     }
     return false;
   }
@@ -675,7 +698,7 @@ bool Runtime::try_execute_one(unsigned slot) {
     ready_count_.fetch_sub(1, std::memory_order_relaxed);
     metrics_->gauge_add(m_.ready_depth, -1, slot);
   }
-  profiler_->add_overhead(slot, t1 - t0);
+  if (timed_) profiler_->add_overhead(slot, now_ns() - t0);
   run_task(t, slot);
   return true;
 }
@@ -690,7 +713,7 @@ void Runtime::worker_loop(unsigned slot) {
       continue;
     }
     if (shutdown_.load(std::memory_order_acquire)) break;
-    const std::uint64_t t0 = now_ns();
+    const std::uint64_t t0 = timed_ ? now_ns() : 0;
     const bool work_existed =
         ready_count_.load(std::memory_order_relaxed) > 0;
     poll();
@@ -699,11 +722,13 @@ void Runtime::worker_loop(unsigned slot) {
     } else {
       bo.pause();
     }
-    const std::uint64_t t1 = now_ns();
-    if (work_existed) {
-      profiler_->add_overhead(slot, t1 - t0);
-    } else {
-      profiler_->add_idle(slot, t1 - t0);
+    if (timed_) {
+      const std::uint64_t t1 = now_ns();
+      if (work_existed) {
+        profiler_->add_overhead(slot, t1 - t0);
+      } else {
+        profiler_->add_idle(slot, t1 - t0);
+      }
     }
   }
   tls_runtime = nullptr;
@@ -829,6 +854,13 @@ void Runtime::runtime_diagnostic(std::string& out) const {
       out += "\n  deferred retries: " + std::to_string(deferred_.size());
     }
   }
+  // Discovery data layer: a producer wedged mid-discovery shows up here
+  // (table growth, arena footprint), complementing the metric deltas below.
+  out += "\n  discovery table: " +
+         std::to_string(dep_map_.tracked_addresses()) + " addresses (cap " +
+         std::to_string(dep_map_.table_capacity()) + ", " +
+         std::to_string(dep_map_.rehash_count()) + " rehashes, " +
+         std::to_string(dep_map_.arena_bytes()) + " bytes)";
   // Counter deltas since the stalled wait was armed: a hang report that
   // shows "0 steals, 0 completions since arming" pinpoints starvation vs
   // livelock at a glance.

@@ -46,6 +46,10 @@ struct RuntimeMetricIds {
   Id edges_duplicate;   ///< counter discovery.edges_duplicate
   Id edges_pruned;      ///< counter discovery.edges_pruned
   Id hash_probes;       ///< counter discovery.hash_probes (depend items)
+  Id probe_len;         ///< histogram discovery.probe_len (table probes)
+  Id rehash;            ///< counter discovery.rehash (table grows)
+  Id addr_entries;      ///< gauge discovery.addr_entries (live history)
+  Id arena_bytes;       ///< gauge discovery.arena_bytes (table + entries)
   // scheduler
   Id spawns;            ///< counter sched.spawns (ready enqueues)
   Id steals;            ///< counter sched.steals
@@ -230,6 +234,9 @@ class Runtime : public DiscoveryHooks {
   /// live_blocks() returns to the dependency map's holdover count after a
   /// drain, and to zero after clear_dependency_scope()).
   const TaskArena& task_arena() const { return arena_; }
+  /// The producer's access-history table (tests / tools: table capacity,
+  /// live entries, rehash count, arena footprint).
+  const DependencyMap& dependency_map() const { return dep_map_; }
   const Config& config() const { return cfg_; }
   /// Live tasks = created and not yet finished. Ready = queued, not started.
   std::size_t live_tasks() const {
@@ -255,18 +262,30 @@ class Runtime : public DiscoveryHooks {
 
   Task* allocate_task(const TaskOpts& opts);
   void finish_submission(Task* t, std::span<const Depend> deps);
-  std::uint64_t replay_submit_erased(void (*update)(Task*, void*), void* ctx);
+  /// Replay one task from the region's compiled plan. `src`/`bytes` are
+  /// the raw capture of the freshly-built callable when it is trivially
+  /// copyable — the fast path memcpys them straight into the task's stored
+  /// body (the paper's "single memcpy on firstprivate data") without the
+  /// type-erased `update` dispatch; non-trivial captures pass src=nullptr
+  /// and go through `update` (destroy + copy-construct).
+  std::uint64_t replay_submit_erased(void (*update)(Task*, void*), void* ctx,
+                                     const void* src, std::size_t bytes);
 
   template <class F>
   std::uint64_t replay_submit(F&& fn) {
+    using Fn = std::decay_t<F>;
     struct Ctx {
-      F* fn;
+      std::remove_reference_t<F>* fn;
     } ctx{&fn};
     return replay_submit_erased(
         [](Task* t, void* c) {
           t->body.update(std::forward<F>(*static_cast<Ctx*>(c)->fn));
         },
-        &ctx);
+        &ctx,
+        std::is_trivially_copyable_v<Fn>
+            ? static_cast<const void*>(std::addressof(fn))
+            : nullptr,
+        sizeof(Fn));
   }
 
   void enqueue_ready(Task* t, unsigned thread_hint, bool successor);
@@ -330,6 +349,14 @@ class Runtime : public DiscoveryHooks {
   RuntimeMetricIds m_;
   TraceEnvConfig trace_env_;
   bool metrics_dump_ = false;
+  /// Timeline stamps (t_create/t_ready/t_start/t_end and the profiler's
+  /// work/overhead/idle attribution) cost a clock read each — several per
+  /// task lifecycle, which dominates discovery-rate microbenches. They are
+  /// only consumed by metrics, traces and the teardown reports, so when
+  /// both are off the stamps are skipped wholesale. The per-episode
+  /// discovery window (discovery_seconds) is always maintained: one clock
+  /// read per submission, it is the paper's headline statistic.
+  bool timed_ = true;
   /// Baseline snapshot for "counters since arming" watchdog diagnostics.
   mutable SpinLock wd_baseline_lock_;
   MetricsSnapshot wd_baseline_;

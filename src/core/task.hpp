@@ -8,7 +8,6 @@
 #include <new>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "core/common.hpp"
 #include "core/depend_types.hpp"
@@ -129,6 +128,15 @@ class TaskBody {
   std::size_t capture_bytes() const noexcept { return size_; }
   bool trivially_copyable() const noexcept { return assign_ == nullptr; }
 
+  /// Stable pointer to the stored capture bytes, for compiled PTSG replay
+  /// plans: when the capture is trivially copyable, replay overwrites it
+  /// with one memcpy straight from the freshly-built callable, skipping
+  /// the type-erased update() dispatch. Valid while a callable is stored;
+  /// replay never re-emplaces, so the pointer is stable across iterations.
+  void* capture_dst() noexcept {
+    return invoke_ != nullptr ? storage() : nullptr;
+  }
+
   void reset() {
     if (invoke_ != nullptr) {
       destroy_(storage());
@@ -176,6 +184,15 @@ struct TaskOpts {
 /// plain-`new`ed descriptor (arena == nullptr) still works for tests.
 class Task {
  public:
+  /// Successor-edge storage. The inline capacity matches the graph shapes
+  /// of the figure benches (telemetry: LULESH/HPCG writers fan out to 1-3
+  /// consumers after dedup, chains to exactly 1); larger fan-outs —
+  /// inoutset redirects, wide reader sets — spill to the heap. The
+  /// inline-or-heap union keeps the list at 40 bytes, so sizeof(Task)
+  /// stays within the 448-byte slab block of the std::vector layout.
+  static constexpr std::size_t kInlineSuccessors = 4;
+  using SuccessorList = small_vector<Task*, kInlineSuccessors>;
+
   explicit Task(std::uint64_t id, TaskArena* arena = nullptr)
       : id_(id), arena_(arena) {}
   Task(const Task&) = delete;
@@ -237,7 +254,7 @@ class Task {
   /// `keep` (persistent task), the recorded list is preserved for replay.
   /// `poisoned` marks this instance failed/cancelled, so late edges to it
   /// cancel their successor (see add_successor).
-  std::vector<Task*> snapshot_successors_and_finish(bool keep,
+  SuccessorList snapshot_successors_and_finish(bool keep,
                                                     bool poisoned) {
     SpinGuard g(succ_lock_);
     finished_flag_ = true;
@@ -258,7 +275,7 @@ class Task {
     cancelled.store(false, std::memory_order_relaxed);
   }
 
-  const std::vector<Task*>& successors_unsafe() const { return successors_; }
+  const SuccessorList& successors_unsafe() const { return successors_; }
 
   // --- readiness refcount ---------------------------------------------------
   /// Predecessor counter. Convention: a task is created with value 1 (the
@@ -320,7 +337,7 @@ class Task {
   SpinLock succ_lock_;
   bool finished_flag_ = false;
   bool poisoned_flag_ = false;  // finished in a failed/cancelled state
-  std::vector<Task*> successors_;
+  SuccessorList successors_;
 };
 
 }  // namespace tdg
