@@ -1,27 +1,29 @@
 #!/usr/bin/env bash
-# Run the tier-1 test suite under ThreadSanitizer and AddressSanitizer.
+# Run the tier-1 test suite under ThreadSanitizer, AddressSanitizer and
+# UndefinedBehaviorSanitizer.
 #
-# Usage: scripts/ci_sanitize.sh [thread|address]...
-# With no arguments, both sanitizers are run in sequence. Each sanitizer
-# gets its own build tree (build-tsan/, build-asan/), configured with
-# -DTDG_SANITIZE=<kind>; a nonzero exit from either configure, build, or
-# ctest fails the script.
+# Usage: scripts/ci_sanitize.sh [thread|address|undefined]...
+# With no arguments, all three sanitizers are run in sequence. Each
+# sanitizer gets its own build tree (build-tsan/, build-asan/,
+# build-ubsan/), configured with -DTDG_SANITIZE=<kind>; a nonzero exit
+# from either configure, build, or ctest fails the script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 sanitizers=("$@")
 if [ ${#sanitizers[@]} -eq 0 ]; then
-  sanitizers=(thread address)
+  sanitizers=(thread address undefined)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    thread)  dir=build-tsan ;;
-    address) dir=build-asan ;;
-    *) echo "unknown sanitizer '$san' (expected thread|address)" >&2
+    thread)    dir=build-tsan ;;
+    address)   dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    *) echo "unknown sanitizer '$san' (expected thread|address|undefined)" >&2
        exit 2 ;;
   esac
 
@@ -37,6 +39,7 @@ for san in "${sanitizers[@]}"; do
   # halt_on_error makes TSan reports fail the run instead of only logging.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="detect_leaks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1" \
     ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
           --timeout 900
 
@@ -46,6 +49,7 @@ for san in "${sanitizers[@]}"; do
   # it executed, independent of ctest sharding.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="detect_leaks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1" \
     "$dir"/tests/test_deque --gtest_filter='ChaseLevDequeStress.*' \
           --gtest_repeat=3
 
@@ -55,6 +59,7 @@ for san in "${sanitizers[@]}"; do
   # surface as a use-after-free / leak only under the sanitizers.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="detect_leaks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1" \
     "$dir"/tests/test_discovery --gtest_filter='DiscoveryTable.*' \
           --gtest_repeat=3
 done

@@ -67,6 +67,22 @@ DependencyMap::AddrEntry& DependencyMap::lookup(const void* addr) {
   return *e;
 }
 
+void DependencyMap::edge(Task* pred, Task* succ,
+                         const DiscoveryOptions& opts) {
+  // Seeded fault (verifier self-tests): the Nth discovery silently
+  // vanishes, exactly as if the clause that would have produced it were
+  // missing from the program.
+  if (opts.seed_drop_edge != 0 && ++edge_calls_ == opts.seed_drop_edge) {
+    return;
+  }
+  switch (hooks_->discover_edge(pred, succ)) {
+    case EdgeOutcome::Created: ++episode_stats_.edges_created; break;
+    case EdgeOutcome::Duplicate: ++episode_stats_.edges_duplicate; break;
+    case EdgeOutcome::Pruned: ++episode_stats_.edges_pruned; break;
+    case EdgeOutcome::SelfSkip: break;
+  }
+}
+
 // Order `succ` after the last modifying access of `e`. For an open inoutset
 // generation this is either one edge through the redirect node (optimization
 // (c)) or one edge per generation member.
@@ -89,14 +105,15 @@ void DependencyMap::edges_from_mod(AddrEntry& e, Task* succ,
       // self-reference — the descriptor must survive for the consumer
       // edge below (which will then be correctly pruned).
       r->retain();
-      for (Task* m : e.last_mod) hooks_->discover_edge(m, r);
+      ++episode_stats_.redirect_nodes;
+      for (Task* m : e.last_mod) edge(m, r, opts);
       hooks_->seal_internal_node(r);
       e.redirect = r;
     }
-    hooks_->discover_edge(e.redirect, succ);
+    edge(e.redirect, succ, opts);
     return;
   }
-  for (Task* m : e.last_mod) hooks_->discover_edge(m, succ);
+  for (Task* m : e.last_mod) edge(m, succ, opts);
 }
 
 // Install `task` as the unique last writer, releasing the previous history.
@@ -128,7 +145,7 @@ void DependencyMap::apply(Task* task, std::span<const Depend> deps,
       case DependType::InOut:
         // Ordered after the last modifying access and all reads since.
         edges_from_mod(e, task, opts);
-        for (Task* r : e.readers) hooks_->discover_edge(r, task);
+        for (Task* r : e.readers) edge(r, task, opts);
         become_writer(e, task);
         break;
 
@@ -155,8 +172,8 @@ void DependencyMap::apply(Task* task, std::span<const Depend> deps,
         // A member is ordered after the generation base and any reader that
         // arrived while the generation was open (OpenMP 5.1: inoutset
         // depends on prior in/out/inout accesses, not prior inoutset).
-        for (Task* b : e.gen_base) hooks_->discover_edge(b, task);
-        for (Task* r : e.readers) hooks_->discover_edge(r, task);
+        for (Task* b : e.gen_base) edge(b, task, opts);
+        for (Task* r : e.readers) edge(r, task, opts);
         retain_into(e.last_mod, task);
         break;
     }
@@ -183,6 +200,11 @@ void DependencyMap::clear() {
   size_ = 0;
   last_addr_ = nullptr;
   last_entry_ = nullptr;
+  // Episode boundary: per-scope statistics restart with the history so
+  // persistent regions / phase clears report their own numbers instead of
+  // accumulating across iterations. (edge_calls_ deliberately survives —
+  // seed_drop_edge targets a lifetime position.)
+  episode_stats_ = DiscoveryStats{};
 }
 
 }  // namespace tdg

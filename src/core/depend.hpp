@@ -30,6 +30,13 @@ namespace tdg {
 struct DiscoveryOptions {
   bool dedup_edges = true;        ///< (b): skip repeated (pred,succ) pairs
   bool inoutset_redirect = true;  ///< (c): aggregate inoutset generations
+  /// Fault injection for the TDG soundness verifier's self-tests (in the
+  /// spirit of the MPI substrate's FaultPlan): when nonzero, the Nth edge
+  /// discovery of the map's lifetime (1-based, counting every would-be
+  /// hooks call) is silently dropped — the runtime neither orders nor
+  /// records it, exactly what a missing depend clause would cause. Never
+  /// set outside tests.
+  std::uint64_t seed_drop_edge = 0;
 };
 
 /// Counters describing one discovery episode.
@@ -40,13 +47,23 @@ struct DiscoveryStats {
   std::uint64_t redirect_nodes = 0;   ///< inoutset R nodes inserted by (c)
 };
 
+/// What one discover_edge call did — reported back so the map can keep
+/// per-episode statistics that reset with its history (clear()), while the
+/// runtime's own cumulative counters keep running.
+enum class EdgeOutcome : std::uint8_t {
+  Created,    ///< edge materialized (or recorded for persistent replay)
+  Duplicate,  ///< skipped by optimization (b)
+  Pruned,     ///< skipped: predecessor already finished
+  SelfSkip,   ///< pred == succ (same task, two clause items)
+};
+
 /// Services the dependency map needs from the runtime: creating edges
 /// (with pruning/dedup/persistence policy) and inserting internal nodes.
 class DiscoveryHooks {
  public:
   virtual ~DiscoveryHooks() = default;
   /// Create precedence edge pred -> succ, applying dedup and pruning.
-  virtual void discover_edge(Task* pred, Task* succ) = 0;
+  virtual EdgeOutcome discover_edge(Task* pred, Task* succ) = 0;
   /// Create an empty runtime-internal node (inoutset redirect).
   /// The node is returned with its discovery guard held; the map adds the
   /// member edges and then calls seal_internal_node.
@@ -110,6 +127,13 @@ class DependencyMap {
     mids_ = ids;
   }
 
+  /// Discovery statistics of the current episode — since construction or
+  /// the last clear(). Unlike the runtime's cumulative RuntimeStats
+  /// counters, these reset with the history, so per-region / per-iteration
+  /// numbers (persistent regions clear between discovery episodes) do not
+  /// accumulate across scopes.
+  const DiscoveryStats& episode_stats() const { return episode_stats_; }
+
   std::size_t tracked_addresses() const { return size_; }
   std::size_t table_capacity() const { return cap_; }
   /// AddrEntry blocks currently handed out by the arena (leak checks:
@@ -164,6 +188,9 @@ class DependencyMap {
 
   void edges_from_mod(AddrEntry& e, Task* succ, const DiscoveryOptions& opts);
   void become_writer(AddrEntry& e, Task* task);
+  /// All edge discovery funnels through here: applies the seeded-drop
+  /// fault (verifier self-tests) and folds the outcome into episode_stats_.
+  void edge(Task* pred, Task* succ, const DiscoveryOptions& opts);
   static void retain_into(TaskList& v, Task* t) {
     t->retain();
     v.push_back(t);
@@ -186,6 +213,8 @@ class DependencyMap {
   std::size_t cap_ = 0;   ///< power of two (0 until the first insert)
   std::size_t size_ = 0;  ///< live entries
   std::uint64_t rehashes_ = 0;
+  DiscoveryStats episode_stats_;   ///< reset by clear()
+  std::uint64_t edge_calls_ = 0;  ///< lifetime counter for seed_drop_edge
   MetricsRegistry* mreg_ = nullptr;
   MetricIds mids_{};
 };

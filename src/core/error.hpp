@@ -50,6 +50,20 @@ class DeadlineError : public Error {
   std::string report_;
 };
 
+/// The TDG soundness verifier (TDG_VERIFY=strict) found violations at a
+/// taskwait or persistent-region boundary: a conflicting access pair the
+/// discovered graph does not order (determinacy race), a cyclic edge set,
+/// or PTSG replay drift. `what()` is the full report.
+class VerifyError : public Error {
+ public:
+  explicit VerifyError(std::string report)
+      : Error(report), report_(std::move(report)) {}
+  const std::string& report() const noexcept { return report_; }
+
+ private:
+  std::string report_;
+};
+
 /// One task whose body threw (after exhausting its retry budget).
 struct TaskFailure {
   std::uint64_t task_id = 0;

@@ -6,6 +6,9 @@ PersistentRegion::PersistentRegion(Runtime& rt) : rt_(rt) {
   TDG_REQUIRE(rt.region_ == nullptr,
               "nested persistent regions are not supported");
   rt_.region_ = this;
+  // Replay-safety check: capture every iteration's clause stream so
+  // end_iteration can diff replays against the cached discovery graph.
+  rt_.verify_clauses_ = rt_.config().verify != VerifyMode::Off;
 }
 
 PersistentRegion::~PersistentRegion() {
@@ -22,6 +25,7 @@ PersistentRegion::~PersistentRegion() {
   rt_.discovering_persistent_ = false;
   rt_.replay_active_ = false;
   rt_.region_ = nullptr;
+  rt_.verify_clauses_ = false;
   for (Task* t : tasks_) {
     // Two references die with the region: its own (record_task) and the
     // task's self-reference, which complete_task deliberately keeps on
@@ -44,6 +48,7 @@ void PersistentRegion::begin_iteration() {
     rearm_all();
     rt_.replay_active_ = true;
     replayed_ = 0;
+    iter_clauses_.clear();  // fresh capture for this replay iteration
   }
   rt_.discovery_begin_ns_ = 0;  // per-iteration discovery span
   rt_.discovery_end_ns_ = 0;
@@ -57,6 +62,13 @@ void PersistentRegion::end_iteration() {
     TDG_CHECK(replayed_ == replayable_count_,
               "persistent region replayed a different number of tasks than "
               "it discovered");
+    // Replay-safety diff (capture complete at this point): re-discover
+    // this iteration's graph from its clauses and compare against the
+    // discovery iteration's. Findings are raised after the barrier and
+    // bookkeeping below, so the region stays consistent either way.
+    if (rt_.verify_clauses_) {
+      last_drift_ = diff_replay_clauses(first_clauses_, iter_clauses_);
+    }
   }
   // Implicit barrier (Section 3.2): every task of iteration n completes
   // before iteration n+1 is instantiated; inter-iteration edges never
@@ -80,11 +92,30 @@ void PersistentRegion::end_iteration() {
   // Rethrow after the region state is consistent: a failed iteration's
   // tasks are re-armed by the next begin_iteration and can be replayed.
   rt_.throw_if_failed();
+  if (!last_drift_.empty()) {
+    std::string report = "PTSG replay drift detected:";
+    for (const ReplayDriftFinding& f : last_drift_) {
+      report += "\n  " + f.message;
+    }
+    if (rt_.config().verify == VerifyMode::Strict) {
+      throw VerifyError(std::move(report));
+    }
+    std::fprintf(stderr, "tdg: %s\n", report.c_str());
+  }
 }
 
 void PersistentRegion::record_task(Task* t) {
   t->retain();
   tasks_.push_back(t);
+}
+
+void PersistentRegion::log_clause(std::span<const Depend> deps) {
+  if (!active_) return;  // submissions outside an iteration: not ours
+  if (iterations_done_ == 0) {
+    first_clauses_.add_task(deps);
+  } else {
+    iter_clauses_.add_task(deps);
+  }
 }
 
 void PersistentRegion::compile_replay_plan() {

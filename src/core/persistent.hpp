@@ -59,6 +59,15 @@ class PersistentRegion {
     return discovery_seconds_;
   }
 
+  /// Replay-safety findings of the most recent replay iteration (empty
+  /// when the iteration's clauses matched the cached discovery stream, or
+  /// when the runtime's verify mode is Off). In Post mode the findings are
+  /// also printed to stderr at end_iteration; Strict mode throws
+  /// VerifyError there.
+  const std::vector<ReplayDriftFinding>& last_drift() const {
+    return last_drift_;
+  }
+
  private:
   friend class Runtime;
 
@@ -73,6 +82,9 @@ class PersistentRegion {
   };
 
   void record_task(Task* t);        // first-iteration discovery
+  /// Clause capture for the replay-safety check (called from the submit
+  /// template via Runtime::log_verify_clause when verification is on).
+  void log_clause(std::span<const Depend> deps);
   /// Build the SoA replay plan from the discovered graph (end of the
   /// first iteration, after the barrier drained every task).
   void compile_replay_plan();
@@ -99,6 +111,13 @@ class PersistentRegion {
   // which are not re-submitted); latch = 2 with a detach event, else 1.
   std::vector<std::int32_t> rearm_npred_;
   std::vector<std::int32_t> rearm_latch_;
+
+  // Replay-safety capture (only populated when the runtime verifies):
+  // the discovery iteration's clause stream is the reference every replay
+  // iteration is diffed against at end_iteration.
+  ClauseStream first_clauses_;
+  ClauseStream iter_clauses_;
+  std::vector<ReplayDriftFinding> last_drift_;
 };
 
 }  // namespace tdg

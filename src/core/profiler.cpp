@@ -22,6 +22,30 @@ void Profiler::record_edge(std::uint64_t pred, std::uint64_t succ) {
   edges_.push_back(TraceEdge{pred, succ});
 }
 
+void Profiler::record_accesses(std::uint64_t task_id, const char* label,
+                               const Depend* deps, std::size_t n) {
+  if (!trace_enabled()) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    accesses_.push_back(AccessRecord{
+        task_id, reinterpret_cast<std::uint64_t>(deps[i].addr), deps[i].type,
+        label != nullptr ? label : ""});
+  }
+}
+
+void Profiler::record_barrier(std::uint64_t max_task_id) {
+  if (!trace_enabled()) return;
+  // Back-to-back taskwaits (or a taskwait with no intervening submissions)
+  // carry no extra ordering information; keep the log minimal.
+  if (!barriers_.empty() && barriers_.back() == max_task_id) return;
+  barriers_.push_back(max_task_id);
+}
+
+void Profiler::record_scope_clear(std::uint64_t max_task_id) {
+  if (!trace_enabled()) return;
+  if (!scope_clears_.empty() && scope_clears_.back() == max_task_id) return;
+  scope_clears_.push_back(max_task_id);
+}
+
 Breakdown Profiler::breakdown() const {
   Breakdown b;
   // Sized from the accumulators at call time, not from a cached width, so
@@ -84,6 +108,9 @@ void Profiler::reset() {
   }
   for (auto& tb : trace_) tb.records.clear();
   edges_.clear();
+  accesses_.clear();
+  barriers_.clear();
+  scope_clears_.clear();
 }
 
 void Profiler::reset(unsigned nthreads) {
@@ -96,6 +123,9 @@ void Profiler::reset(unsigned nthreads) {
   acc_.swap(acc);
   trace_.swap(trace);
   edges_.clear();
+  accesses_.clear();
+  barriers_.clear();
+  scope_clears_.clear();
 }
 
 }  // namespace tdg

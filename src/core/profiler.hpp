@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/depend_types.hpp"
 
 namespace tdg {
 
@@ -32,6 +33,16 @@ struct TaskRecord {
 struct TraceEdge {
   std::uint64_t pred = 0;
   std::uint64_t succ = 0;
+};
+
+/// One depend-clause item of one submitted task (trace mode only; feeds the
+/// TDG soundness verifier and the depend-clause lint). Addresses are erased
+/// to integers — the verifier only needs identity, never dereferences.
+struct AccessRecord {
+  std::uint64_t task_id = 0;
+  std::uint64_t addr = 0;
+  DependType type = DependType::In;
+  const char* label = "";
 };
 
 /// Per-thread cumulative time split, in seconds.
@@ -94,12 +105,35 @@ class Profiler {
   /// is unsynchronized; read it post-mortem.
   void record_edge(std::uint64_t pred, std::uint64_t succ);
 
+  /// Record a task's depend clause (trace mode only, producer thread only,
+  /// same discipline as record_edge). `label` must outlive the profiler.
+  void record_accesses(std::uint64_t task_id, const char* label,
+                       const Depend* deps, std::size_t n);
+
+  /// Record a taskwait barrier: every task with id <= max_task_id completed
+  /// before any later task was submitted. Producer thread only; consecutive
+  /// identical cutoffs are deduplicated.
+  void record_barrier(std::uint64_t max_task_id);
+
+  /// Record a dependency-scope clear: the access history was dropped, so
+  /// no dependence is required between tasks with id <= max_task_id and
+  /// later ones. Producer thread only; consecutive duplicates dropped.
+  void record_scope_clear(std::uint64_t max_task_id);
+
   // --- post-mortem analysis ----------------------------------------------
   Breakdown breakdown() const;
   /// All records, merged and sorted by start time.
   std::vector<TaskRecord> merged_trace() const;
   /// Dependence edges logged during discovery (trace mode only).
   const std::vector<TraceEdge>& edges() const { return edges_; }
+  /// Depend-clause items logged during discovery (trace mode only).
+  const std::vector<AccessRecord>& accesses() const { return accesses_; }
+  /// Taskwait cutoffs (max task id submitted before each barrier).
+  const std::vector<std::uint64_t>& barriers() const { return barriers_; }
+  /// Dependency-scope clear cutoffs (max task id before each clear).
+  const std::vector<std::uint64_t>& scope_clears() const {
+    return scope_clears_;
+  }
 
   /// Write a Gantt-chart-friendly TSV: thread, start_s, end_s, iteration,
   /// label (Fig. 8 input format).
@@ -132,6 +166,9 @@ class Profiler {
   std::vector<Accum> acc_;
   std::vector<TraceBuf> trace_;
   std::vector<TraceEdge> edges_;
+  std::vector<AccessRecord> accesses_;
+  std::vector<std::uint64_t> barriers_;
+  std::vector<std::uint64_t> scope_clears_;
 };
 
 }  // namespace tdg

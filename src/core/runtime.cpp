@@ -99,6 +99,16 @@ Runtime::Runtime(Config cfg)
   }
   trace_env_ = trace_env_config();
   if (trace_env_.mode != TraceMode::Off) cfg_.trace = true;
+  // TDG_VERIFY (off|post|strict) overrides Config::verify; any checking
+  // mode needs the clause/edge/barrier capture, so it forces trace
+  // collection on (the teardown file export stays gated on TDG_TRACE).
+  switch (verify_env_mode()) {
+    case VerifyEnvMode::Off: cfg_.verify = VerifyMode::Off; break;
+    case VerifyEnvMode::Post: cfg_.verify = VerifyMode::Post; break;
+    case VerifyEnvMode::Strict: cfg_.verify = VerifyMode::Strict; break;
+    case VerifyEnvMode::Default: break;
+  }
+  if (cfg_.verify != VerifyMode::Off) cfg_.trace = true;
   timed_ = metrics_on || cfg_.trace;
   metrics_ = std::make_unique<MetricsRegistry>(n, metrics_on);
   m_.register_into(*metrics_);
@@ -134,6 +144,9 @@ Runtime::~Runtime() {
                  e.what());
     std::abort();
   }
+  // Last verification chance for graphs never followed by a taskwait;
+  // destructors cannot throw, so strict mode degrades to the stderr report.
+  verify_now(/*allow_throw=*/false);
   // Failures no caller waited for can no longer be thrown; drop them.
   {
     SpinGuard g(failures_lock_);
@@ -175,9 +188,13 @@ void Runtime::finalize_observability() {
       std::ofstream os(path);
       if (os) {
         if (trace_env_.mode == TraceMode::Perfetto) {
-          write_perfetto(os, records, profiler_->edges());
+          write_perfetto(os, records, profiler_->edges(),
+                         profiler_->accesses(), profiler_->barriers(),
+                         profiler_->scope_clears());
         } else {
-          write_trace_tsv(os, records);
+          write_trace_tsv(os, records, profiler_->accesses(),
+                          profiler_->barriers(),
+                          profiler_->scope_clears());
         }
         std::fprintf(stderr,
                      "tdg: trace written to %s (%zu records, %zu edges)\n",
@@ -250,6 +267,12 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
 void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
   // Each depend item is one probe of the per-address access history.
   if (!deps.empty()) madd(m_.hash_probes, deps.size());
+  // Capture the clause before discovery mutates the history: the verifier
+  // re-derives the required ordering from exactly this stream.
+  if (!deps.empty() && profiler_->trace_enabled()) {
+    profiler_->record_accesses(t->id(), t->opts.label, deps.data(),
+                               deps.size());
+  }
   dep_map_.apply(t, deps, cfg_.discovery);
   const std::uint64_t ts = now_ns();
   if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
@@ -261,12 +284,14 @@ void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
   throttle(current_slot());
 }
 
-void Runtime::discover_edge(Task* pred, Task* succ) {
-  if (pred == succ) return;  // e.g. in+out on the same address in one clause
+EdgeOutcome Runtime::discover_edge(Task* pred, Task* succ) {
+  if (pred == succ) {  // e.g. in+out on the same address in one clause
+    return EdgeOutcome::SelfSkip;
+  }
   if (cfg_.discovery.dedup_edges && pred->last_successor_id == succ->id()) {
     ++disc_stats_.edges_duplicate;
     madd(m_.edges_duplicate);
-    return;  // optimization (b): O(1) duplicate-edge elimination
+    return EdgeOutcome::Duplicate;  // optimization (b): O(1) dedup
   }
   pred->last_successor_id = succ->id();
   // The successor's count must be raised BEFORE the edge is published:
@@ -283,7 +308,7 @@ void Runtime::discover_edge(Task* pred, Task* succ) {
       if (profiler_->trace_enabled()) {
         profiler_->record_edge(pred->id(), succ->id());
       }
-      break;
+      return EdgeOutcome::Created;
     case Task::EdgeResult::Recorded:
       succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
       ++succ->persistent_indegree;
@@ -292,13 +317,23 @@ void Runtime::discover_edge(Task* pred, Task* succ) {
       if (profiler_->trace_enabled()) {
         profiler_->record_edge(pred->id(), succ->id());
       }
-      break;
+      return EdgeOutcome::Created;
     case Task::EdgeResult::Pruned:
       succ->npredecessors.fetch_sub(1, std::memory_order_relaxed);
       ++disc_stats_.edges_pruned;
       madd(m_.edges_pruned);
-      break;
+      // The dependence is real even though no runtime edge is needed (the
+      // predecessor already finished); the trace stream keeps it so the
+      // verifier — and critical-path analysis — see the full precedence
+      // relation, not just the materialized subset. Without this, a pruned
+      // pair whose repeat is then dedup'd away would surface as a false
+      // race.
+      if (profiler_->trace_enabled()) {
+        profiler_->record_edge(pred->id(), succ->id());
+      }
+      return EdgeOutcome::Pruned;
   }
+  return EdgeOutcome::SelfSkip;  // unreachable; switch is exhaustive
 }
 
 Task* Runtime::make_internal_node() {
@@ -346,7 +381,16 @@ std::uint64_t Runtime::replay_submit_erased(void (*update)(Task*, void*),
   return t->id();
 }
 
-void Runtime::clear_dependency_scope() { dep_map_.clear(); }
+void Runtime::clear_dependency_scope() {
+  dep_map_.clear();
+  // Mirror the cut in the verifier's input: no dependence is required
+  // across a scope clear (the caller asserted phase independence), so the
+  // shadow discovery must forget its history exactly where the map did.
+  if (profiler_->trace_enabled()) {
+    profiler_->record_scope_clear(
+        next_task_id_.load(std::memory_order_relaxed) - 1);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Execution
@@ -736,7 +780,11 @@ void Runtime::worker_loop(unsigned slot) {
 
 void Runtime::taskwait() {
   drain();
+  // Failure order matters: a TaskGroupError must not be masked by a
+  // verification report (and vice versa a clean drain may still carry a
+  // determinacy race — the interleaving just happened to be benign).
   throw_if_failed();
+  verify_now(/*allow_throw=*/true);
 }
 
 void Runtime::drain() {
@@ -756,6 +804,40 @@ void Runtime::drain() {
       bo.pause();
     }
   }
+  // Everything submitted so far has completed: tasks on either side of
+  // this point are ordered without an edge. The cutoff feeds the verifier
+  // (taskwait separation) — dedup in the profiler keeps idle re-drains
+  // free. drain() only runs on the producer, so the id read is exact.
+  if (profiler_->trace_enabled()) {
+    profiler_->record_barrier(
+        next_task_id_.load(std::memory_order_relaxed) - 1);
+  }
+}
+
+void Runtime::verify_now(bool allow_throw) {
+  if (cfg_.verify == VerifyMode::Off) return;
+  const auto& accesses = profiler_->accesses();
+  const auto& edges = profiler_->edges();
+  const auto& barriers = profiler_->barriers();
+  if (accesses.size() == verified_accesses_ &&
+      edges.size() == verified_edges_ &&
+      barriers.size() == verified_barriers_) {
+    return;  // nothing new since the last check
+  }
+  VerifyReport rep = verify_graph();
+  verified_accesses_ = accesses.size();
+  verified_edges_ = edges.size();
+  verified_barriers_ = barriers.size();
+  if (rep.ok()) return;
+  if (cfg_.verify == VerifyMode::Strict && allow_throw) {
+    throw VerifyError(rep.summary());
+  }
+  std::fprintf(stderr, "tdg: TDG verification FAILED:\n%s\n",
+               rep.summary().c_str());
+}
+
+void Runtime::log_verify_clause(std::span<const Depend> deps) {
+  if (region_ != nullptr) region_->log_clause(deps);
 }
 
 void Runtime::throw_if_failed() {

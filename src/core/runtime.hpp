@@ -27,6 +27,7 @@
 #include "core/slab.hpp"
 #include "core/task.hpp"
 #include "core/trace_export.hpp"
+#include "core/verify.hpp"
 #include "core/watchdog.hpp"
 
 namespace tdg {
@@ -119,6 +120,13 @@ class Runtime : public DiscoveryHooks {
     /// (perfetto|tsv) similarly force-enables `trace` and exports the
     /// trace to a file when the runtime is destroyed.
     bool metrics = true;
+    /// TDG soundness verification (see core/verify.hpp): Off = free; Post
+    /// and Strict capture the clause/edge/barrier streams (forcing `trace`
+    /// on) and run the determinacy-race checker at every taskwait — Post
+    /// reports violations to stderr and continues, Strict throws
+    /// VerifyError. The TDG_VERIFY environment variable (off|post|strict)
+    /// overrides this field.
+    VerifyMode verify = VerifyMode::Off;
   };
 
   Runtime() : Runtime(Config{}) {}
@@ -133,6 +141,10 @@ class Runtime : public DiscoveryHooks {
   template <class F>
   std::uint64_t submit(F&& fn, std::span<const Depend> deps,
                        TaskOpts opts = {}) {
+    // Replay-safety capture must see the clause of every iteration —
+    // including replays, which never reach discovery — so it hooks in
+    // before the replay branch.
+    if (verify_clauses_) log_verify_clause(deps);
     if (replay_active_) return replay_submit(std::forward<F>(fn));
     Task* t = allocate_task(opts);
     t->body.emplace(std::forward<F>(fn));
@@ -206,6 +218,15 @@ class Runtime : public DiscoveryHooks {
   void clear_polling_hook(const PollingHookToken& token);
 
   // --- introspection --------------------------------------------------------
+  /// Run the TDG soundness checker over everything captured so far
+  /// (requires Config::trace or a non-Off verify mode; otherwise the
+  /// streams are empty and the report is trivially clean). Pure — no
+  /// runtime state changes; callable at any quiescent point.
+  VerifyReport verify_graph(const VerifyOptions& opts = {}) const {
+    return verify_tdg(profiler_->accesses(), profiler_->edges(),
+                      profiler_->barriers(), profiler_->scope_clears(),
+                      opts);
+  }
   RuntimeStats stats() const;
   /// Reset graph counters and the discovery span (not the profiler).
   void reset_stats();
@@ -252,7 +273,7 @@ class Runtime : public DiscoveryHooks {
   void clear_dependency_scope();
 
   // --- DiscoveryHooks (used by DependencyMap) ------------------------------
-  void discover_edge(Task* pred, Task* succ) override;
+  EdgeOutcome discover_edge(Task* pred, Task* succ) override;
   Task* make_internal_node() override;
   void seal_internal_node(Task* node) override;
 
@@ -340,6 +361,14 @@ class Runtime : public DiscoveryHooks {
   }
   /// Capture the metrics baseline a later watchdog report deltas against.
   void arm_watchdog_baseline();
+  /// Run the soundness checker if the verify mode asks for it and anything
+  /// changed since the last check. Strict mode throws VerifyError when
+  /// `allow_throw` (taskwait); Post mode — and Strict from contexts that
+  /// must not throw (destructor) — reports to stderr.
+  void verify_now(bool allow_throw);
+  /// Out-of-line clause capture for the replay-safety check (keeps the
+  /// submit template free of PersistentRegion's definition).
+  void log_verify_clause(std::span<const Depend> deps);
   /// Teardown observability: export the trace (TDG_TRACE) and dump the
   /// metrics report (TDG_METRICS=dump). Called from the destructor.
   void finalize_observability();
@@ -440,6 +469,17 @@ class Runtime : public DiscoveryHooks {
   PersistentRegion* region_ = nullptr;
   bool discovering_persistent_ = false;
   bool replay_active_ = false;
+
+  // verification state (producer-only)
+  /// True while a persistent region wants per-submission clause capture
+  /// for the replay-safety diff (verify mode != Off and a region active).
+  bool verify_clauses_ = false;
+  /// Watermarks of the last verified capture: when nothing was appended
+  /// since, the taskwait re-check is skipped (repeated taskwaits stay
+  /// O(1) instead of re-verifying the whole history).
+  std::size_t verified_accesses_ = 0;
+  std::size_t verified_edges_ = 0;
+  std::size_t verified_barriers_ = 0;
 };
 
 }  // namespace tdg

@@ -9,7 +9,9 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <variant>
 
 #include "core/error.hpp"
@@ -76,10 +78,100 @@ void emit_us(std::ostream& os, std::uint64_t ns, std::uint64_t t0) {
   os << buf;
 }
 
+// --- depend-clause access encoding (shared by both formats) ---
+//
+// One task's clause becomes "code:hexaddr;code:hexaddr;..." with codes
+// in / out / io / ios. Clause order is preserved — the offline verifier
+// replays the stream exactly as discovery saw it.
+
+const char* access_code(DependType t) {
+  switch (t) {
+    case DependType::In: return "in";
+    case DependType::Out: return "out";
+    case DependType::InOut: return "io";
+    case DependType::InOutSet: return "ios";
+  }
+  return "in";
+}
+
+bool access_type_from_code(std::string_view code, DependType& out) {
+  if (code == "in") out = DependType::In;
+  else if (code == "out") out = DependType::Out;
+  else if (code == "io") out = DependType::InOut;
+  else if (code == "ios") out = DependType::InOutSet;
+  else return false;
+  return true;
+}
+
+/// Contiguous [first, last) run of the access stream for each task id
+/// (record_accesses appends a task's whole clause at once, so runs are
+/// contiguous; redirect nodes never record accesses).
+std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+group_accesses(std::span<const AccessRecord> accesses) {
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      runs;
+  std::size_t i = 0;
+  while (i < accesses.size()) {
+    std::size_t j = i + 1;
+    while (j < accesses.size() &&
+           accesses[j].task_id == accesses[i].task_id) {
+      ++j;
+    }
+    runs.emplace(accesses[i].task_id, std::make_pair(i, j));
+    i = j;
+  }
+  return runs;
+}
+
+std::string encode_accesses(std::span<const AccessRecord> accesses,
+                            std::size_t first, std::size_t last) {
+  std::string out;
+  char buf[24];
+  for (std::size_t i = first; i < last; ++i) {
+    if (!out.empty()) out.push_back(';');
+    out += access_code(accesses[i].type);
+    out.push_back(':');
+    std::snprintf(buf, sizeof buf, "%" PRIx64, accesses[i].addr);
+    out += buf;
+  }
+  return out;
+}
+
+/// Decode one task's encoded clause into trace.accesses. Unknown codes or
+/// malformed segments are a hard error — a half-read clause would make the
+/// verifier report phantom races.
+void decode_accesses(ParsedTrace& trace, std::uint64_t task_id,
+                     const char* label, std::string_view enc) {
+  std::size_t pos = 0;
+  while (pos < enc.size()) {
+    std::size_t end = enc.find(';', pos);
+    if (end == std::string_view::npos) end = enc.size();
+    const std::string_view item = enc.substr(pos, end - pos);
+    const std::size_t colon = item.find(':');
+    TDG_REQUIRE(colon != std::string_view::npos,
+                "malformed accesses item in trace");
+    AccessRecord a;
+    a.task_id = task_id;
+    a.label = label;
+    TDG_REQUIRE(access_type_from_code(item.substr(0, colon), a.type),
+                "unknown access type code in trace");
+    const std::string hex(item.substr(colon + 1));
+    char* stop = nullptr;
+    a.addr = std::strtoull(hex.c_str(), &stop, 16);
+    TDG_REQUIRE(stop != nullptr && *stop == '\0' && !hex.empty(),
+                "malformed access address in trace");
+    trace.accesses.push_back(a);
+    pos = end + 1;
+  }
+}
+
 }  // namespace
 
 void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
                     std::span<const TraceEdge> edges,
+                    std::span<const AccessRecord> accesses,
+                    std::span<const std::uint64_t> barriers,
+                    std::span<const std::uint64_t> scope_clears,
                     const PerfettoOptions& opts) {
   std::uint64_t t0 = UINT64_MAX;
   for (const TaskRecord& r : records) t0 = std::min(t0, r.t_create);
@@ -116,7 +208,12 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
   }
 
   // Task slices. The absolute create/ready times ride along in args so a
-  // parsed-back trace is lossless (ts/dur only cover start..end).
+  // parsed-back trace is lossless (ts/dur only cover start..end). A task's
+  // depend clause is attached to its first slice only — persistent-region
+  // replays produce one slice per iteration but the clause was recorded
+  // once, at discovery.
+  const auto access_runs = group_accesses(accesses);
+  std::unordered_set<std::uint64_t> clause_emitted;
   for (const TaskRecord& r : records) {
     sep();
     os << "{\"name\":";
@@ -133,7 +230,33 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
     emit_us(os, r.t_ready, t0);
     os << ",\"queue_us\":";
     emit_us(os, r.t_start, r.t_ready);
+    if (auto it = access_runs.find(r.task_id);
+        it != access_runs.end() && clause_emitted.insert(r.task_id).second) {
+      os << ",\"accesses\":";
+      json_escape(
+          os,
+          encode_accesses(accesses, it->second.first, it->second.second)
+              .c_str());
+    }
     os << "}}";
+  }
+
+  // Taskwait barriers and dependency-scope clears as global instant
+  // events. They carry no timestamp of their own — the cutoff task id is
+  // the payload the offline verifier needs.
+  for (std::uint64_t b : barriers) {
+    sep();
+    os << "{\"name\":\"taskwait\",\"cat\":\"verify\",\"ph\":\"i\","
+          "\"s\":\"g\",\"pid\":"
+       << opts.pid << ",\"tid\":0,\"ts\":0,\"args\":{\"barrier_max_id\":"
+       << b << "}}";
+  }
+  for (std::uint64_t s : scope_clears) {
+    sep();
+    os << "{\"name\":\"scope_clear\",\"cat\":\"verify\",\"ph\":\"i\","
+          "\"s\":\"g\",\"pid\":"
+       << opts.pid << ",\"tid\":0,\"ts\":0,\"args\":{\"scope_max_id\":"
+       << s << "}}";
   }
 
   // Flow arrows along dependence edges: an "s" event at the predecessor's
@@ -196,14 +319,27 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
 // Extended TSV
 // ---------------------------------------------------------------------------
 
-void write_trace_tsv(std::ostream& os,
-                     std::span<const TaskRecord> records) {
+void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records,
+                     std::span<const AccessRecord> accesses,
+                     std::span<const std::uint64_t> barriers,
+                     std::span<const std::uint64_t> scope_clears) {
   os << "task_id\tthread\titeration\tlabel\tt_create_ns\tt_ready_ns\t"
-        "t_start_ns\tt_end_ns\n";
+        "t_start_ns\tt_end_ns\taccesses\n";
+  // Cutoffs as comment lines so spreadsheet consumers of the plain rows
+  // keep working; parse_trace_tsv picks them back up.
+  for (std::uint64_t b : barriers) os << "#barrier\t" << b << '\n';
+  for (std::uint64_t s : scope_clears) os << "#scope\t" << s << '\n';
+  const auto access_runs = group_accesses(accesses);
+  std::unordered_set<std::uint64_t> clause_emitted;
   for (const TaskRecord& r : records) {
     os << r.task_id << '\t' << r.thread << '\t' << r.iteration << '\t'
        << (r.label[0] != '\0' ? r.label : "task") << '\t' << r.t_create
-       << '\t' << r.t_ready << '\t' << r.t_start << '\t' << r.t_end << '\n';
+       << '\t' << r.t_ready << '\t' << r.t_start << '\t' << r.t_end << '\t';
+    if (auto it = access_runs.find(r.task_id);
+        it != access_runs.end() && clause_emitted.insert(r.task_id).second) {
+      os << encode_accesses(accesses, it->second.first, it->second.second);
+    }
+    os << '\n';
   }
 }
 
@@ -466,6 +602,12 @@ ParsedTrace parse_perfetto(std::istream& is) {
       }
       const JsonValue* name = ev.get("name");
       r.label = intern_label(out, name != nullptr ? name->str() : "task");
+      if (args != nullptr && args->is_object()) {
+        if (const JsonValue* acc = args->get("accesses"); acc != nullptr) {
+          decode_accesses(out, r.task_id, r.label,
+                          std::string(acc->str()));
+        }
+      }
       out.records.push_back(r);
     } else if (ph->str() == "s") {
       // Flow start events carry the edge's task ids in args.
@@ -476,6 +618,17 @@ ParsedTrace parse_perfetto(std::istream& is) {
             static_cast<std::uint64_t>(args->get("pred")->number()),
             static_cast<std::uint64_t>(args->get("succ")->number())});
       }
+    } else if (ph->str() == "i") {
+      // Verification instant events: taskwait barriers / scope clears.
+      const JsonValue* args = ev.get("args");
+      if (args == nullptr) continue;
+      if (const JsonValue* b = args->get("barrier_max_id"); b != nullptr) {
+        out.barriers.push_back(static_cast<std::uint64_t>(b->number()));
+      } else if (const JsonValue* s = args->get("scope_max_id");
+                 s != nullptr) {
+        out.scope_clears.push_back(
+            static_cast<std::uint64_t>(s->number()));
+      }
     }
     // "M" metadata, "f" flow finish, "C" counters carry no record data.
   }
@@ -483,6 +636,15 @@ ParsedTrace parse_perfetto(std::istream& is) {
             [](const TaskRecord& a, const TaskRecord& b) {
               return a.t_start < b.t_start;
             });
+  // Restore discovery order: the producer submits tasks with ascending
+  // ids and a task's clause items stay contiguous, so a stable sort by
+  // task id reconstructs the original access stream.
+  std::stable_sort(out.accesses.begin(), out.accesses.end(),
+                   [](const AccessRecord& a, const AccessRecord& b) {
+                     return a.task_id < b.task_id;
+                   });
+  std::sort(out.barriers.begin(), out.barriers.end());
+  std::sort(out.scope_clears.begin(), out.scope_clears.end());
   return out;
 }
 
@@ -495,6 +657,19 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
               "unrecognized TSV trace header");
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Cutoff comment lines: "#barrier\t<id>" / "#scope\t<id>". Other
+      // comments are ignored for forward compatibility.
+      const std::size_t tab = line.find('\t');
+      if (tab != std::string::npos) {
+        const std::string_view kind(line.data(), tab);
+        const std::uint64_t id =
+            std::strtoull(line.c_str() + tab + 1, nullptr, 10);
+        if (kind == "#barrier") out.barriers.push_back(id);
+        else if (kind == "#scope") out.scope_clears.push_back(id);
+      }
+      continue;
+    }
     std::vector<std::string> cols;
     std::size_t start = 0;
     while (true) {
@@ -503,7 +678,9 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
       if (tab == std::string::npos) break;
       start = tab + 1;
     }
-    TDG_REQUIRE(cols.size() == 8, "bad TSV trace row");
+    // 8 columns is the pre-verification format; 9 adds the (possibly
+    // empty) encoded accesses column.
+    TDG_REQUIRE(cols.size() == 8 || cols.size() == 9, "bad TSV trace row");
     TaskRecord r;
     r.task_id = std::strtoull(cols[0].c_str(), nullptr, 10);
     r.thread = static_cast<std::uint32_t>(
@@ -515,12 +692,21 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
     r.t_ready = std::strtoull(cols[5].c_str(), nullptr, 10);
     r.t_start = std::strtoull(cols[6].c_str(), nullptr, 10);
     r.t_end = std::strtoull(cols[7].c_str(), nullptr, 10);
+    if (cols.size() == 9 && !cols[8].empty()) {
+      decode_accesses(out, r.task_id, r.label, cols[8]);
+    }
     out.records.push_back(r);
   }
   std::sort(out.records.begin(), out.records.end(),
             [](const TaskRecord& a, const TaskRecord& b) {
               return a.t_start < b.t_start;
             });
+  std::stable_sort(out.accesses.begin(), out.accesses.end(),
+                   [](const AccessRecord& a, const AccessRecord& b) {
+                     return a.task_id < b.task_id;
+                   });
+  std::sort(out.barriers.begin(), out.barriers.end());
+  std::sort(out.scope_clears.begin(), out.scope_clears.end());
   return out;
 }
 

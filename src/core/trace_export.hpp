@@ -48,19 +48,39 @@ struct PerfettoOptions {
 /// Write records (+ optional dependence edges) as trace-event JSON.
 /// Timestamps are normalized to the earliest record and expressed in
 /// microseconds, as the format requires.
+///
+/// The verification streams ride along when provided: each task's depend
+/// clause is encoded as an `"accesses"` arg on its first slice
+/// ("in:<hex>;out:<hex>;..."), and taskwait barriers / dependency-scope
+/// clears become instant events carrying the cutoff task id. A trace
+/// written with them can be re-verified offline (`tdg-trace verify`).
 void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
                     std::span<const TraceEdge> edges = {},
+                    std::span<const AccessRecord> accesses = {},
+                    std::span<const std::uint64_t> barriers = {},
+                    std::span<const std::uint64_t> scope_clears = {},
                     const PerfettoOptions& opts = {});
 
 /// Write the extended TSV: one header line, one row per record with
-/// task_id/thread/iteration/label and all four absolute ns timestamps.
-void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records);
+/// task_id/thread/iteration/label, all four absolute ns timestamps, and
+/// the task's encoded depend clause in a trailing `accesses` column.
+/// Barrier / scope-clear cutoffs are `#barrier <id>` / `#scope <id>`
+/// comment lines (tab-separated) after the header.
+void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records,
+                     std::span<const AccessRecord> accesses = {},
+                     std::span<const std::uint64_t> barriers = {},
+                     std::span<const std::uint64_t> scope_clears = {});
 
 /// A parsed trace. Owns the label storage the records point into (the
 /// pool is a deque so grown entries never relocate).
 struct ParsedTrace {
   std::vector<TaskRecord> records;  ///< sorted by t_start
   std::vector<TraceEdge> edges;
+  /// Depend-clause stream in submission order (task_id ascending, clause
+  /// order preserved within a task); labels point into label_pool.
+  std::vector<AccessRecord> accesses;
+  std::vector<std::uint64_t> barriers;      ///< taskwait cutoffs, sorted
+  std::vector<std::uint64_t> scope_clears;  ///< scope-clear cutoffs, sorted
   std::deque<std::string> label_pool;
 };
 

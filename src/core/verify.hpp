@@ -1,0 +1,183 @@
+// Offline TDG soundness verification, PTSG replay-safety checking, and
+// depend-clause linting.
+//
+// The runtime's entire contract is that the discovered Task Dependency
+// Graph is a correct serialization of the program's depend clauses: every
+// pair of tasks with a conflicting access (W/W, W/R, cross-generation
+// inoutset) must be transitively ordered by graph edges (or separated by a
+// taskwait barrier). After the scheduler and discovery layers were rebuilt
+// as hand-rolled lock-free/open-addressing code, nothing checked that
+// independently — this module is the correctness oracle.
+//
+// Everything here is pure: inputs are the Profiler's access/edge/barrier
+// streams (or a parsed trace file), outputs are value-type reports, so the
+// in-runtime TDG_VERIFY modes, the tdg-lint CLI and the self-tests share
+// one code path. The checker re-derives the *required* ordering relation
+// from the clauses alone (a shadow of the sequential discovery semantics,
+// deliberately independent of DependencyMap's dedup/redirect machinery)
+// and then proves or refutes each required pair against the graph the
+// runtime actually built, using a reachability-bitset pass over the
+// discovered edges in topological order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/depend_types.hpp"
+#include "core/profiler.hpp"
+
+namespace tdg {
+
+/// `TDG_VERIFY` runtime switch.
+///   off    — no capture, no checking (default).
+///   post   — the checker runs at every taskwait / end_iteration;
+///            violations are reported to stderr, execution continues.
+///   strict — violations raise tdg::VerifyError at the taskwait.
+enum class VerifyMode : std::uint8_t { Off, Post, Strict };
+
+/// Parse TDG_VERIFY (off | post | strict; anything else = Default, which
+/// leaves the Config value in charge).
+enum class VerifyEnvMode : std::uint8_t { Default, Off, Post, Strict };
+VerifyEnvMode verify_env_mode();
+
+struct VerifyOptions {
+  /// Cap on the findings materialized in the report (the totals keep
+  /// counting past it).
+  std::size_t max_reports = 64;
+  /// Graphs up to this many vertices get the O(V*E/64) dense
+  /// reachability-bitset pass with O(1) pair queries; larger graphs fall
+  /// back to per-pair BFS pruned by topological position (edges are a hash
+  /// lookup, misses cost one bounded traversal). Tests set 0 to force the
+  /// sparse path.
+  std::size_t dense_limit = std::size_t{1} << 14;
+};
+
+/// One determinacy race: a conflicting access pair the discovered graph
+/// does not order.
+struct RaceFinding {
+  std::uint64_t addr = 0;
+  std::uint64_t pred_id = 0;  ///< earlier submission
+  std::uint64_t succ_id = 0;  ///< later submission
+  DependType pred_type = DependType::In;
+  DependType succ_type = DependType::In;
+  std::string pred_label;
+  std::string succ_label;
+
+  std::string to_string() const;
+};
+
+/// Result of one soundness check.
+struct VerifyReport {
+  std::size_t tasks = 0;      ///< vertices (user tasks + internal nodes)
+  std::size_t edges = 0;      ///< discovered edges examined
+  std::size_t addresses = 0;  ///< distinct depend addresses
+  std::size_t pairs_checked = 0;  ///< required ordering constraints tested
+  std::size_t races_total = 0;    ///< violations found (>= races.size())
+  bool cycle = false;             ///< edge set is cyclic (malformed graph)
+  std::uint64_t cycle_task = 0;   ///< one task id on a cycle, if any
+  std::vector<RaceFinding> races;  ///< first max_reports violations
+
+  bool ok() const { return races_total == 0 && !cycle; }
+  /// Multi-line human-readable report (violations, then totals).
+  std::string summary() const;
+};
+
+/// Prove or refute that the discovered graph orders every conflicting
+/// access pair. `accesses` is the per-task depend-clause stream in
+/// submission order (ids strictly increasing task by task), `edges` the
+/// discovered edge stream (including pruned and redirect-node edges), and
+/// `barriers` the taskwait cutoffs: tasks with id <= cutoff completed
+/// before any task with id > cutoff was submitted, so such pairs are
+/// ordered even without a path. `scope_clears` mirrors
+/// Runtime::clear_dependency_scope — the shadow history resets at each
+/// cutoff, since the program explicitly severed discovery there.
+VerifyReport verify_tdg(std::span<const AccessRecord> accesses,
+                        std::span<const TraceEdge> edges,
+                        std::span<const std::uint64_t> barriers = {},
+                        std::span<const std::uint64_t> scope_clears = {},
+                        const VerifyOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Depend-clause lint (the user-side minimization of paper optimization (a))
+// ---------------------------------------------------------------------------
+
+enum class LintKind : std::uint8_t {
+  /// `inout` whose write-ordering is never consumed (no later access on the
+  /// address) while readers since the last modification forced extra
+  /// reader->task edges: if the task only reads, `in` drops those edges.
+  RedundantInout,
+  /// A depend address touched by exactly one task: the clause never matched
+  /// any other access and created no edges.
+  DeadDependence,
+  /// An inoutset generation with a single member: `inout` expresses the
+  /// same ordering without the concurrent-set machinery (and without ever
+  /// paying for a redirect node).
+  SingletonInoutset,
+};
+
+struct LintFinding {
+  LintKind kind = LintKind::DeadDependence;
+  std::uint64_t addr = 0;
+  std::uint64_t task_id = 0;
+  std::string label;
+  std::string message;  ///< full diagnostic, including the suggestion
+};
+
+/// Lint a depend-clause stream. Findings are advisory: they flag clauses
+/// that are semantically sound but cost discovery work (edges, redirect
+/// nodes, history churn) that a tighter clause avoids.
+std::vector<LintFinding> lint_clauses(std::span<const AccessRecord> accesses);
+
+const char* lint_kind_name(LintKind kind);
+
+// ---------------------------------------------------------------------------
+// PTSG replay-safety check (optimization (p))
+// ---------------------------------------------------------------------------
+
+/// The depend-clause stream of one persistent-region iteration: every
+/// clause of every task, in submission order. Replay iterations must
+/// reproduce the discovery iteration's stream exactly — same addresses,
+/// same types, same order — or the cached graph no longer matches the
+/// program (firstprivate-address drift, stale redirect nodes).
+class ClauseStream {
+ public:
+  void add_task(std::span<const Depend> deps) {
+    items_.insert(items_.end(), deps.begin(), deps.end());
+    offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
+  }
+  void clear() {
+    items_.clear();
+    offsets_.clear();
+  }
+
+  std::size_t tasks() const { return offsets_.size(); }
+  std::span<const Depend> clause(std::size_t i) const {
+    const std::uint32_t begin = i == 0 ? 0 : offsets_[i - 1];
+    return {items_.data() + begin, offsets_[i] - begin};
+  }
+  std::size_t total_items() const { return items_.size(); }
+
+ private:
+  std::vector<Depend> items_;
+  std::vector<std::uint32_t> offsets_;  ///< end offset of task i's clause
+};
+
+struct ReplayDriftFinding {
+  /// Replay slot (submission index within the iteration); SIZE_MAX for
+  /// stream-level findings (task-count mismatch, graph-level diffs).
+  std::size_t slot = SIZE_MAX;
+  std::string message;
+};
+
+/// Diff a replay iteration's clause stream against the discovery
+/// iteration's. Reports per-slot clause divergence (address/type/count
+/// drift) and then re-discovers both graphs from the clauses alone and
+/// diffs them edge by edge, so a drift that changes the graph shape is
+/// reported as the missing/extra orderings it causes.
+std::vector<ReplayDriftFinding> diff_replay_clauses(
+    const ClauseStream& reference, const ClauseStream& replay,
+    std::size_t max_reports = 16);
+
+}  // namespace tdg

@@ -3,10 +3,18 @@
 //   tdg-trace summary  <trace>          overall stats + parallelism profile
 //   tdg-trace critpath <trace> [-n K]   critical path (top K nodes shown)
 //   tdg-trace export   <trace> [-o OUT] [--format perfetto|tsv]
+//   tdg-trace verify   <trace> [-n K]   TDG soundness check (races, cycles)
+//   tdg-trace lint     <trace> [--strict]   depend-clause lint
+//
+// Installing (or symlinking) the binary as `tdg-lint` makes it default to
+// the lint command: `tdg-lint trace.json` == `tdg-trace lint trace.json`.
 //
 // <trace> is a file produced with TDG_TRACE=perfetto or TDG_TRACE=tsv (or
 // "-" for stdin); the format is sniffed, so export converts between the
-// two. Exit status: 0 ok, 1 bad input, 2 usage error.
+// two. verify/lint need the depend-clause access stream, which traces
+// carry when recorded with TDG_VERIFY=post|strict. Exit status: 0 ok,
+// 1 bad input, 2 usage error, 3 verification failed / lint --strict found
+// issues.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +28,7 @@
 #include "core/analysis.hpp"
 #include "core/error.hpp"
 #include "core/trace_export.hpp"
+#include "core/verify.hpp"
 
 namespace {
 
@@ -40,9 +49,21 @@ int usage(const char* argv0) {
                "(default perfetto to\n"
                "                                   stdout); converts "
                "between formats\n"
+               "  verify   <trace> [-n K]          prove every conflicting "
+               "access pair is\n"
+               "                                   ordered by the recorded "
+               "graph; exit 3 on\n"
+               "                                   determinacy races or "
+               "cycles\n"
+               "  lint     <trace> [--strict]      flag depend clauses that "
+               "cost discovery\n"
+               "                                   work for nothing; exit 3 "
+               "only with --strict\n"
                "\n"
                "<trace> may be '-' for stdin. Accepts both the Perfetto "
-               "JSON and the TSV\nwritten under TDG_TRACE.\n",
+               "JSON and the TSV\nwritten under TDG_TRACE. verify/lint need "
+               "a trace recorded with\nTDG_VERIFY=post (or strict), which "
+               "embeds the depend-clause stream.\n",
                argv0);
   return 2;
 }
@@ -159,9 +180,11 @@ int cmd_export(const tdg::ParsedTrace& trace, const std::string& out_path,
                const std::string& format) {
   std::ostringstream body;
   if (format == "perfetto" || format == "json") {
-    tdg::write_perfetto(body, trace.records, trace.edges);
+    tdg::write_perfetto(body, trace.records, trace.edges, trace.accesses,
+                        trace.barriers, trace.scope_clears);
   } else if (format == "tsv") {
-    tdg::write_trace_tsv(body, trace.records);
+    tdg::write_trace_tsv(body, trace.records, trace.accesses,
+                         trace.barriers, trace.scope_clears);
   } else {
     throw tdg::UsageError("unknown export format: " + format);
   }
@@ -178,17 +201,60 @@ int cmd_export(const tdg::ParsedTrace& trace, const std::string& out_path,
   return 0;
 }
 
+/// True when the trace has no embedded depend clauses — nothing for
+/// verify/lint to work on. (The caller reports the remedy.)
+bool require_accesses(const tdg::ParsedTrace& trace, const char* cmd) {
+  if (!trace.accesses.empty()) return true;
+  std::fprintf(stderr,
+               "tdg-trace: %s: trace has no depend-clause accesses; "
+               "re-record it with\ntdg-trace: TDG_VERIFY=post (or strict) "
+               "so the clause stream is embedded\n",
+               cmd);
+  return false;
+}
+
+int cmd_verify(const tdg::ParsedTrace& trace, std::size_t max_reports) {
+  if (!require_accesses(trace, "verify")) return 1;
+  tdg::VerifyOptions opts;
+  if (max_reports != 0) opts.max_reports = max_reports;
+  const tdg::VerifyReport rep =
+      tdg::verify_tdg(trace.accesses, trace.edges, trace.barriers,
+                      trace.scope_clears, opts);
+  std::printf("%s\n", rep.summary().c_str());
+  return rep.ok() ? 0 : 3;
+}
+
+int cmd_lint(const tdg::ParsedTrace& trace, bool strict) {
+  if (!require_accesses(trace, "lint")) return 1;
+  const std::vector<tdg::LintFinding> findings =
+      tdg::lint_clauses(trace.accesses);
+  for (const tdg::LintFinding& f : findings) {
+    std::printf("%s: %s\n", tdg::lint_kind_name(f.kind), f.message.c_str());
+  }
+  std::printf("%zu depend-clause lint finding%s in %zu accesses\n",
+              findings.size(), findings.size() == 1 ? "" : "s",
+              trace.accesses.size());
+  return findings.empty() || !strict ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
-  const std::string cmd = argv[1];
-  const std::string path = argv[2];
+  // Basename dispatch: a binary (or symlink) named tdg-lint is the lint
+  // command itself, taking the trace as its first argument.
+  const char* slash = std::strrchr(argv[0], '/');
+  const char* base = slash != nullptr ? slash + 1 : argv[0];
+  const bool lint_alias = std::strcmp(base, "tdg-lint") == 0;
+
+  if (argc < (lint_alias ? 2 : 3)) return usage(argv[0]);
+  const std::string cmd = lint_alias ? "lint" : argv[1];
+  const std::string path = argv[lint_alias ? 1 : 2];
 
   std::size_t top = 20;
   std::string out_path;
   std::string format = "perfetto";
-  for (int i = 3; i < argc; ++i) {
+  bool strict = false;
+  for (int i = lint_alias ? 2 : 3; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "-n" && i + 1 < argc) {
       top = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
@@ -196,6 +262,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (a == "--format" && i + 1 < argc) {
       format = argv[++i];
+    } else if (a == "--strict") {
+      strict = true;
     } else {
       std::fprintf(stderr, "tdg-trace: unknown option: %s\n", a.c_str());
       return usage(argv[0]);
@@ -207,6 +275,8 @@ int main(int argc, char** argv) {
     if (cmd == "summary") return cmd_summary(trace);
     if (cmd == "critpath") return cmd_critpath(trace, top);
     if (cmd == "export") return cmd_export(trace, out_path, format);
+    if (cmd == "verify") return cmd_verify(trace, top);
+    if (cmd == "lint") return cmd_lint(trace, strict);
     std::fprintf(stderr, "tdg-trace: unknown command: %s\n", cmd.c_str());
     return usage(argv[0]);
   } catch (const tdg::UsageError& e) {
