@@ -13,6 +13,12 @@
 # is recorded from the current measurement and the check passes — commit
 # the file to pin it. Re-record deliberately after a known perf change:
 #   rm scripts/bench_baseline.txt && scripts/ci_bench_smoke.sh
+#
+# Besides the gate, each run appends one record per benchmark to the
+# trajectory files BENCH_runtime.json and BENCH_discovery.json (JSON
+# arrays of {name, median_items_per_second, threads, git_sha, date}),
+# so successive CI runs accumulate a perf history alongside pass/fail.
+# BENCH_OUT_DIR (default: repo root) selects where they are written.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,19 +26,59 @@ cd "$(dirname "$0")/.."
 build_dir=${BENCH_BUILD_DIR:-build}
 baseline_file=scripts/bench_baseline.txt
 min_fraction=${MIN_FRACTION:-0.80}
+out_dir=${BENCH_OUT_DIR:-.}
 
-# measure <binary> <filter>: print items_per_second of the first iteration.
+# measure <binary> <filter>: print the median items_per_second over the
+# benchmark's repetitions (the aggregate google-benchmark reports).
 measure() {
   "$build_dir"/bench/"$1" \
       --benchmark_filter="$2" \
       --benchmark_min_time=0.2 \
+      --benchmark_repetitions=3 \
       --benchmark_format=json 2>/dev/null | python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-bms = [b for b in doc["benchmarks"] if b.get("run_type", "iteration") == "iteration"]
-assert bms, "benchmark produced no measurements"
-print(bms[0]["items_per_second"])
+med = [b for b in doc["benchmarks"]
+       if b.get("run_type") == "aggregate" and b.get("aggregate_name") == "median"]
+if med:
+    print(med[0]["items_per_second"])
+else:
+    bms = [b for b in doc["benchmarks"]
+           if b.get("run_type", "iteration") == "iteration"]
+    assert bms, "benchmark produced no measurements"
+    vals = sorted(b["items_per_second"] for b in bms)
+    print(vals[len(vals) // 2])
 '
+}
+
+# record_trajectory <file> <bench-name> <threads> <median>: append one
+# record to the JSON-array trajectory file (created on first use).
+record_trajectory() {
+  python3 - "$out_dir/$1" "$2" "$3" "$4" <<'EOF'
+import datetime, json, os, subprocess, sys
+path, name, threads, median = sys.argv[1:5]
+try:
+    sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                         text=True, check=True).stdout.strip()
+except Exception:
+    sha = "unknown"
+records = []
+if os.path.exists(path):
+    with open(path) as f:
+        records = json.load(f)
+records.append({
+    "name": name,
+    "median_items_per_second": float(median),
+    "threads": int(threads),
+    "git_sha": sha,
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+})
+with open(path, "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+print(f"=== [bench-smoke] appended {name} to {path} "
+      f"({len(records)} record(s)) ===")
+EOF
 }
 
 # gate <name> <current>: compare against the named baseline line (the
@@ -80,6 +126,10 @@ echo "=== [bench-smoke] running BM_SpawnExecuteThroughput/1 ==="
 spawn=$(measure bench_micro_runtime 'BM_SpawnExecuteThroughput/1$')
 echo "=== [bench-smoke] running BM_DiscoveryMixed/10000/1 ==="
 discovery=$(measure bench_micro_discovery 'BM_DiscoveryMixed/10000/1$')
+
+record_trajectory BENCH_runtime.json BM_SpawnExecuteThroughput/1 1 "$spawn"
+record_trajectory BENCH_discovery.json BM_DiscoveryMixed/10000/1 1 \
+                  "$discovery"
 
 gate spawn "$spawn"
 gate discovery "$discovery"

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Chaos soak: run the example universes under seeded loss+kill fault plans
+# and assert the resilience machinery both engages and terminates.
+#
+# Matrix: canned plans {0,1,2} x recovery {poison,shrink} x app
+# {lulesh,cholesky}, every cell with TDG_VERIFY=strict and a wall-clock
+# cap (the runtime watchdog is the in-process backstop; `timeout` makes a
+# wedged universe fail CI instead of hanging it). chaos_soak exits
+# nonzero unless every surviving rank stayed sound. Summed over the
+# injected cells, comm.drops_injected, comm.retransmits and
+# universe.ranks_failed must all be > 0 — proving the loss,
+# retransmission and failure-detection paths actually ran (per-cell
+# totals can be legitimately small when a kill collapses a run early,
+# and each cell must additionally report ranks_failed > 0 since every
+# plan schedules a kill). Two clean control runs (--plan none) must
+# report every resilience counter exactly zero.
+#
+# Usage: scripts/ci_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-${CHAOS_BUILD_DIR:-build}}
+cap_seconds=${CHAOS_CAP_SECONDS:-120}
+soak="$build_dir"/examples/chaos_soak
+
+if [ ! -x "$soak" ]; then
+  echo "=== [chaos] building chaos_soak ==="
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+        --target chaos_soak
+fi
+
+# counter <output> <name>: extract the machine-checkable "<name>=<value>"
+# line chaos_soak prints after the per-rank report.
+counter() {
+  printf '%s\n' "$1" | awk -F= -v n="$2" '$1 == n { print $2; found = 1 }
+                                          END { if (!found) exit 1 }'
+}
+
+failures=0
+total_drops=0
+total_retrans=0
+total_rfailed=0
+
+run_cell() {
+  local app=$1 mode=$2 plan=$3 out rc
+  echo "=== [chaos] app=$app mode=$mode plan=$plan ==="
+  set +e
+  out=$(TDG_VERIFY=strict timeout "$cap_seconds" \
+        "$soak" --app "$app" --mode "$mode" --plan "$plan" 2>&1)
+  rc=$?
+  set -e
+  printf '%s\n' "$out" | sed 's/^/    /'
+  if [ "$rc" -eq 124 ]; then
+    echo "    FAIL: exceeded ${cap_seconds}s wall-clock cap"
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "    FAIL: chaos_soak exited $rc (unsound or crashed)"
+    failures=$((failures + 1))
+    return
+  fi
+  local drops retrans rfailed
+  drops=$(counter "$out" comm.drops_injected)
+  retrans=$(counter "$out" comm.retransmits)
+  rfailed=$(counter "$out" universe.ranks_failed)
+  if [ "$plan" = none ]; then
+    local kills dups
+    kills=$(counter "$out" comm.kills_injected)
+    dups=$(counter "$out" comm.dup_suppressed)
+    if [ "$drops" != 0 ] || [ "$retrans" != 0 ] || [ "$rfailed" != 0 ] ||
+       [ "$kills" != 0 ] || [ "$dups" != 0 ]; then
+      echo "    FAIL: clean run has nonzero resilience counters"
+      failures=$((failures + 1))
+    fi
+  else
+    total_drops=$((total_drops + drops))
+    total_retrans=$((total_retrans + retrans))
+    total_rfailed=$((total_rfailed + rfailed))
+    if [ "$rfailed" = 0 ]; then
+      echo "    FAIL: plan schedules a kill but no rank failure detected"
+      failures=$((failures + 1))
+    fi
+  fi
+}
+
+for plan in 0 1 2; do
+  for mode in poison shrink; do
+    for app in lulesh cholesky; do
+      run_cell "$app" "$mode" "$plan"
+    done
+  done
+done
+
+# Clean controls: injection off, reliable delivery and detector off — the
+# resilience layers must be structurally absent, not merely quiet.
+run_cell lulesh poison none
+run_cell cholesky shrink none
+
+echo "=== [chaos] matrix totals: drops=$total_drops" \
+     "retransmits=$total_retrans ranks_failed=$total_rfailed ==="
+if [ "$total_drops" = 0 ] || [ "$total_retrans" = 0 ] ||
+   [ "$total_rfailed" = 0 ]; then
+  echo "=== [chaos] FAILED: a resilience path went unexercised across" \
+       "the whole matrix ==="
+  exit 1
+fi
+if [ "$failures" -ne 0 ]; then
+  echo "=== [chaos] FAILED: $failures cell(s) ==="
+  exit 1
+fi
+echo "=== [chaos] all cells passed ==="

@@ -70,3 +70,9 @@ echo "=== sanitizer runs passed: ${sanitizers[*]} ==="
 # (deque + slab allocator). Uses the unsanitized tree; see the script for
 # the baseline-recording protocol.
 scripts/ci_bench_smoke.sh
+
+# Chaos soak: the example universes under seeded loss+kill fault plans,
+# every cell with TDG_VERIFY=strict and a wall-clock cap. Uses the
+# unsanitized tree (the sanitizers above already cover the comm layer's
+# data races; this gate is about termination and soundness under faults).
+scripts/ci_chaos.sh

@@ -1,0 +1,256 @@
+#include "apps/common/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "apps/cholesky/cholesky.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/error.hpp"
+#include "core/runtime.hpp"
+#include "mpi/interop.hpp"
+
+namespace tdg::apps::chaos {
+
+namespace {
+
+constexpr int kTagBoundary = 7;
+
+enum class Outcome { OwnDeath, Expected, Unexpected };
+
+/// True when `e` is rooted only in peer deaths: a RankFailedError, or a
+/// TaskGroupError whose every failure rethrows as one.
+bool rank_failure_rooted(const std::exception_ptr& e, int self,
+                         bool& own_death) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const RankFailedError& rf) {
+    if (rf.rank() == self) own_death = true;
+    return true;
+  } catch (const TaskGroupError& tg) {
+    if (tg.failures().empty()) return false;
+    for (const TaskFailure& f : tg.failures()) {
+      try {
+        std::rethrow_exception(f.error);
+      } catch (const RankFailedError& rf) {
+        if (rf.rank() == self) own_death = true;
+      } catch (...) {
+        return false;
+      }
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+Outcome classify(const std::exception_ptr& e, int self,
+                 RecoveryMode recovery) {
+  bool own_death = false;
+  const bool rooted = rank_failure_rooted(e, self, own_death);
+  if (own_death) return Outcome::OwnDeath;
+  if (rooted && recovery == RecoveryMode::Poison) return Outcome::Expected;
+  // Shrink survivors must finish; anything not rank-failure-rooted is a
+  // soundness violation in either mode.
+  return Outcome::Unexpected;
+}
+
+void run_lulesh(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                const ChaosConfig& cfg) {
+  const std::int64_t per = cfg.lulesh_points_per_rank;
+  lulesh::Mesh m(per);
+  m.init_partition(per * cfg.nranks, per * comm.rank());
+  lulesh::Config lc;
+  lc.npoints = per;
+  lc.iterations = cfg.iterations;
+  lc.tpl = 4;
+  lc.distributed = true;
+  lulesh::run_distributed(rt, comm, poller, m, lc, /*persistent=*/false,
+                          cfg.recovery);
+  if (!m.all_finite()) {
+    throw Error("chaos: non-finite mesh values after recovery on rank " +
+                std::to_string(comm.rank()));
+  }
+}
+
+/// Per-rank Cholesky factorization plus a boundary-tile ring exchange and
+/// a checksum allreduce: enough cross-rank structure that a death poisons
+/// (or reroutes) real dependences while the factorization itself drains.
+void run_cholesky(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                  const ChaosConfig& cfg) {
+  const int nt = cfg.cholesky_nt;
+  const int b = cfg.cholesky_tile;
+  const bool shrink = cfg.recovery == RecoveryMode::ShrinkRedistribute;
+  cholesky::TiledMatrix a(nt, b);
+  a.fill_spd();
+  struct Ctx {
+    std::vector<double> sbuf, rbuf;
+    double sum_in = 0, sum_out = 0, total = 0;
+  } ctx;
+  const std::size_t tile_n = static_cast<std::size_t>(b) * b;
+  ctx.sbuf.assign(tile_n, 0.0);
+  ctx.rbuf.assign(tile_n, 0.0);
+  const std::uint64_t tile_bytes = tile_n * sizeof(double);
+
+  // Exchange addresses live above the factorization's tile ids [0, nt^2).
+  const LAddr abase = static_cast<LAddr>(nt) * static_cast<LAddr>(nt);
+  const LAddr kSbuf = abase, kRbuf = abase + 1, kSumIn = abase + 2,
+              kSumOut = abase + 3;
+  const LAddr kCorner =
+      static_cast<LAddr>(nt - 1) * static_cast<LAddr>(nt) +
+      static_cast<LAddr>(nt - 1);
+
+  RuntimeEmitter::Options eopts;
+  eopts.recovery = cfg.recovery;
+  RuntimeEmitter em(rt, comm, poller, eopts);
+  cholesky::TiledMatrix* ap = &a;
+  Ctx* cp = &ctx;
+  int prev_right = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Drain at every iteration boundary: in poison mode the taskwait is
+    // what surfaces the poisoning so the rank exits and its peers' stuck
+    // receives fail fast (Finished rank) instead of deadlocking; in
+    // shrink mode the quiesced graph makes the topology re-read safe.
+    if (it > 0) rt.taskwait();
+    int left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+    int right = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+    if (shrink) {
+      left = comm.nearest_alive(comm.rank(), -1);
+      right = comm.nearest_alive(comm.rank(), +1);
+      // Healing-skew catch-up (see lulesh::run_distributed): the adopted
+      // right neighbour may have healed one iteration earlier and be
+      // blocked on a receive our send that iteration never fed; one
+      // stale-tolerant boundary send closes the gap.
+      if (it > 0 && right != prev_right && right >= 0) {
+        comm.wait(comm.isend(ctx.sbuf.data(),
+                             static_cast<std::size_t>(tile_bytes), right,
+                             kTagBoundary));
+      }
+      prev_right = right;
+    }
+    em.begin_iteration(static_cast<std::uint32_t>(it));
+    cholesky::emit_factorization(em, a, /*refill=*/true);
+    em.compute("PackBoundary", {LDep::in(kCorner), LDep::out(kSbuf)}, 1e-7,
+               tile_bytes, [ap, cp, nt] {
+                 cp->sbuf = ap->tile(nt - 1, nt - 1);
+               });
+    if (right >= 0) {
+      em.send("SendBoundary", {LDep::in(kSbuf)}, ctx.sbuf.data(),
+              tile_bytes, right, kTagBoundary);
+    }
+    if (left >= 0) {
+      em.recv("RecvBoundary", {LDep::out(kRbuf)}, ctx.rbuf.data(),
+              tile_bytes, left, kTagBoundary);
+    } else {
+      em.compute("ZeroBoundary", {LDep::out(kRbuf)}, 1e-7, tile_bytes,
+                 [cp] { std::fill(cp->rbuf.begin(), cp->rbuf.end(), 0.0); });
+    }
+    em.compute("Checksum", {LDep::in(kRbuf), LDep::in(kCorner),
+                            LDep::out(kSumIn)},
+               1e-7, tile_bytes, [ap, cp, nt, b] {
+                 double s = 0;
+                 for (double v : cp->rbuf) s += v;
+                 const auto& corner = ap->tile(nt - 1, nt - 1);
+                 for (int i = 0; i < b; ++i) {
+                   s += corner[static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(b) +
+                               static_cast<std::size_t>(i)];
+                 }
+                 cp->sum_in = s;
+               });
+    em.allreduce("Allreduce(checksum)",
+                 {LDep::in(kSumIn), LDep::out(kSumOut)}, &ctx.sum_in,
+                 &ctx.sum_out, 1, mpi::Op::Sum);
+    em.compute("CommitChecksum", {LDep::in(kSumOut)}, 1e-7, 8,
+               [cp] { cp->total += cp->sum_out; });
+    em.end_iteration();
+  }
+  rt.taskwait();
+  if (!std::isfinite(ctx.total)) {
+    throw Error("chaos: non-finite checksum after recovery on rank " +
+                std::to_string(comm.rank()));
+  }
+}
+
+}  // namespace
+
+mpi::FaultPlan canned_plan(int index) {
+  mpi::FaultPlan fp;
+  // Kill sequences sit late enough that several iterations of lossy
+  // traffic flow first (exercising the retransmission path) but within
+  // the sends a 6-iteration Cholesky rank performs (one per iteration).
+  switch (((index % 3) + 3) % 3) {
+    case 0:
+      fp.seed = 101;
+      fp.loss_probability = 0.25;
+      fp.kill_rank_at_send_seq = {{1, 6}};
+      break;
+    case 1:
+      fp.seed = 202;
+      fp.loss_probability = 0.20;
+      fp.duplicate_probability = 0.15;
+      fp.kill_rank_at_send_seq = {{2, 4}};
+      break;
+    default:
+      fp.seed = 303;
+      fp.loss_probability = 0.25;
+      fp.delay_probability = 0.05;
+      fp.delay_seconds = 0.001;
+      fp.kill_rank_at_send_seq = {{1, 4}, {2, 6}};
+      break;
+  }
+  return fp;
+}
+
+ChaosOutcome run_chaos(const ChaosConfig& cfg) {
+  ChaosOutcome out;
+  std::mutex omu;
+  mpi::Universe::Options uo;
+  uo.faults = cfg.faults;
+  uo.reliable = cfg.reliable;
+  uo.heartbeat = cfg.heartbeat;
+  uo.tolerate_killed_ranks = true;
+  mpi::Universe::run(
+      cfg.nranks,
+      [&](mpi::Comm& comm) {
+        try {
+          Runtime::Config rc;
+          rc.num_threads = cfg.threads_per_rank;
+          rc.watchdog.deadline_seconds = cfg.watchdog_seconds;
+          Runtime rt(rc);
+          mpi::RequestPoller poller(rt, comm);
+          if (cfg.app == App::Lulesh) {
+            run_lulesh(rt, comm, poller, cfg);
+          } else {
+            run_cholesky(rt, comm, poller, cfg);
+          }
+          std::lock_guard<std::mutex> g(omu);
+          ++out.survivors_ok;
+        } catch (...) {
+          const std::exception_ptr e = std::current_exception();
+          switch (classify(e, comm.rank(), cfg.recovery)) {
+            case Outcome::OwnDeath:
+              // The scheduled kill: rethrow so the universe records it
+              // (tolerate_killed_ranks keeps it out of run()'s throw).
+              std::rethrow_exception(e);
+            case Outcome::Expected: {
+              std::lock_guard<std::mutex> g(omu);
+              ++out.expected_failures;
+              break;
+            }
+            case Outcome::Unexpected: {
+              std::lock_guard<std::mutex> g(omu);
+              out.unexpected.push_back(
+                  "rank " + std::to_string(comm.rank()) + ": " +
+                  describe_exception(e));
+              break;
+            }
+          }
+        }
+      },
+      uo, &out.report);
+  return out;
+}
+
+}  // namespace tdg::apps::chaos

@@ -1,0 +1,64 @@
+// Chaos harness: runs a distributed example application (LULESH halo ring
+// or a per-rank Cholesky with a boundary-tile exchange) inside a fault-
+// injected universe — seeded message loss, duplicates, delays, scheduled
+// rank kills — with the reliable-delivery layer and heartbeat failure
+// detector on, and classifies each rank's outcome.
+//
+// The soundness claim the chaos tests assert: every run *terminates*
+// (no watchdog timeout), killed ranks die, and survivors either finish
+// cleanly or — in Poison recovery — fail with a TaskGroupError whose
+// every failure is rooted in tdg::RankFailedError (graph poisoning from
+// the dead peer, not corruption). Anything else (VerifyError under
+// TDG_VERIFY=strict, DeadlineError, non-finite results) is recorded in
+// `unexpected` and fails the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common/emitter.hpp"
+#include "mpi/mpi.hpp"
+
+namespace tdg::apps::chaos {
+
+enum class App { Lulesh, Cholesky };
+
+struct ChaosConfig {
+  App app = App::Lulesh;
+  RecoveryMode recovery = RecoveryMode::Poison;
+  int nranks = 4;
+  int iterations = 6;
+  unsigned threads_per_rank = 2;
+  /// Injected faults (loss / dup / delay / kills). Kills use isend counts:
+  /// keep `kill=R@N` below the app's sends per rank (LULESH: 2 per
+  /// interior-rank iteration; Cholesky: 1 per non-last-rank iteration).
+  mpi::FaultPlan faults;
+  mpi::ReliableConfig reliable;    ///< enable to mask injected loss
+  mpi::HeartbeatConfig heartbeat;  ///< enable to detect kills
+  /// Per-rank runtime watchdog: a hang under injection becomes a
+  /// DeadlineError diagnostic instead of a stuck test.
+  double watchdog_seconds = 60.0;
+  std::int64_t lulesh_points_per_rank = 96;
+  int cholesky_nt = 3;
+  int cholesky_tile = 8;
+};
+
+struct ChaosOutcome {
+  mpi::Universe::Report report;
+  int survivors_ok = 0;         ///< ranks that finished cleanly
+  int expected_failures = 0;    ///< Poison mode: RankFailedError-rooted
+  std::vector<std::string> unexpected;  ///< anything else (must be empty)
+  bool sound() const { return unexpected.empty(); }
+};
+
+/// One of three canned seeded loss+kill plans (index 0..2) sized for a
+/// 4-rank, >=6-iteration run — the ci_chaos.sh suite matrix.
+mpi::FaultPlan canned_plan(int index);
+
+/// Run the configured app under injection and classify per-rank outcomes.
+/// Throws only on harness misuse; application failures are recorded in
+/// the outcome, never rethrown (so the whole matrix is observable).
+ChaosOutcome run_chaos(const ChaosConfig& cfg);
+
+}  // namespace tdg::apps::chaos

@@ -49,6 +49,10 @@ void RuntimeEmitter::send(const char* label, std::span<const LDep> deps,
   TaskOpts topts;
   topts.label = label;
   topts.detach = rt_.create_event();
+  // Sends need no reroute callback: the MPI layer discards sends to dead
+  // ranks, so the task completes either way; idempotency marks it safe to
+  // re-execute under shrink recovery.
+  topts.idempotent = opts_.recovery == RecoveryMode::ShrinkRedistribute;
   mpi::Comm* comm = comm_;
   mpi::RequestPoller* poller = poller_;
   Runtime* rt = &rt_;
@@ -71,6 +75,34 @@ void RuntimeEmitter::recv(const char* label, std::span<const LDep> deps,
   mpi::Comm* comm = comm_;
   mpi::RequestPoller* poller = poller_;
   Runtime* rt = &rt_;
+  if (opts_.recovery == RecoveryMode::ShrinkRedistribute) {
+    topts.idempotent = true;
+    std::function<int(int)> reroute = opts_.reroute;
+    rt_.submit(
+        [comm, poller, rt, buf, bytes, tag, peer,
+         reroute = std::move(reroute)] {
+          mpi::TrackOpts track;
+          track.fulfill_on_giveup = true;
+          if (reroute) {
+            // The current peer travels with the callback so a rerouted
+            // request that fails again reroutes from the *new* peer.
+            auto current = std::make_shared<int>(peer);
+            track.on_peer_failed = [comm, buf, bytes, tag, reroute,
+                                    current](int) -> mpi::Request {
+              const int np = reroute(*current);
+              if (np < 0) return mpi::Request();  // local completion
+              *current = np;
+              return comm->irecv(buf, static_cast<std::size_t>(bytes), np,
+                                 tag);
+            };
+          }
+          poller->complete_on_event(
+              comm->irecv(buf, static_cast<std::size_t>(bytes), peer, tag),
+              rt->current_task_event(), std::move(track));
+        },
+        std::span<const Depend>(scratch_), topts);
+    return;
+  }
   rt_.submit(
       [comm, poller, rt, buf, bytes, peer, tag] {
         poller->complete_on_event(
@@ -90,6 +122,9 @@ void RuntimeEmitter::allreduce(const char* label, std::span<const LDep> deps,
   TaskOpts topts;
   topts.label = label;
   topts.detach = rt_.create_event();
+  // Collectives complete over the survivors (dead ranks are excused by
+  // the MPI layer), so no reroute is needed in shrink mode.
+  topts.idempotent = opts_.recovery == RecoveryMode::ShrinkRedistribute;
   mpi::Comm* comm = comm_;
   mpi::RequestPoller* poller = poller_;
   Runtime* rt = &rt_;

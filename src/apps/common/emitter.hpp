@@ -90,6 +90,22 @@ class Emitter {
   virtual void end_iteration() = 0;
 };
 
+/// What a distributed application does when a peer rank dies mid-run
+/// (detected by the MPI layer's heartbeat detector).
+enum class RecoveryMode {
+  /// Tasks whose requests depended on the dead rank are poisoned with
+  /// tdg::RankFailedError; their dependents are cancelled through graph
+  /// poisoning while independent work drains (taskwait then throws
+  /// TaskGroupError).
+  Poison,
+  /// Shrink-and-redistribute: communication tasks are emitted as
+  /// idempotent, receives install a reroute callback (Options::reroute)
+  /// that re-points an unfulfilled remote dependence at a survivor, and
+  /// when no survivor can supply it the idempotent shard completes
+  /// locally instead of poisoning its dependents.
+  ShrinkRedistribute,
+};
+
 /// Emitter driving the real runtime, optionally under a persistent region
 /// and optionally attached to an MPI communicator for the send/recv/
 /// allreduce tasks (Listing 1 composition).
@@ -100,6 +116,14 @@ class RuntimeEmitter final : public Emitter {
     /// Insert taskwait barriers around communication emission (the +7%
     /// ablation of Section 4.1).
     bool taskwait_around_comm = false;
+    /// Peer-death handling for communication tasks (distributed only).
+    RecoveryMode recovery = RecoveryMode::Poison;
+    /// ShrinkRedistribute: maps a dead peer rank to the survivor that
+    /// takes over its role, or -1 when the dependence should instead be
+    /// satisfied locally (the idempotent task completes with the data it
+    /// has). Called from the polling hook — must not block. When unset,
+    /// every failed dependence falls back to local completion.
+    std::function<int(int failed_rank)> reroute;
   };
 
   RuntimeEmitter(Runtime& rt, Options opts);

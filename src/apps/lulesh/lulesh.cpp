@@ -382,4 +382,67 @@ void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
   rt.taskwait();
 }
 
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     Mesh& mesh, const Config& cfg, bool persistent,
+                     RecoveryMode recovery) {
+  const bool shrink = recovery == RecoveryMode::ShrinkRedistribute;
+  TDG_REQUIRE(!(shrink && persistent),
+              "lulesh: shrink recovery cannot replay a persistent graph "
+              "(the ring topology changes shape)");
+  Config dcfg = cfg;
+  dcfg.distributed = true;
+  Halo halo;
+  halo.left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+  halo.right = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+  RuntimeEmitter::Options opts;
+  opts.persistent = persistent;
+  opts.recovery = recovery;
+  // No cross-rank reroute for the halo ring: an orphaned in-flight receive
+  // completes locally (stale ghost, idempotency contract), and the *next*
+  // iteration's topology read below re-points the exchange structurally.
+  RuntimeEmitter em(rt, comm, poller, opts);
+  for (int it = 0; it < dcfg.iterations; ++it) {
+    // Recovery-aware variant: drain at every iteration boundary. In
+    // poison mode this is what makes a death cascade *terminate* — the
+    // taskwait surfaces the poisoning, the rank exits, and peers whose
+    // receives now point at a Finished rank fail fast in turn instead of
+    // waiting on sends a poisoned graph will never run. In shrink mode
+    // the quiesced graph is what lets the topology be re-read safely.
+    if (it > 0) rt.taskwait();
+    if (shrink) {
+      // Re-read the ring from the failure detector: a dead neighbour heals
+      // into the nearest survivor, or into the boundary ghost clamp when
+      // the chain ends. A barrier is unnecessary — ranks may disagree
+      // transiently, and the orphaned receives complete locally.
+      const int old_left = halo.left;
+      const int old_right = halo.right;
+      halo.left = comm.nearest_alive(comm.rank(), -1);
+      halo.right = comm.nearest_alive(comm.rank(), +1);
+      // Healing-skew catch-up: detection can land between two ranks'
+      // boundary reads, so the new neighbour may have healed one
+      // iteration earlier and already posted a receive from us — while
+      // our send that iteration went to the dead rank. Without a
+      // catch-up that receive gates its rank's dt allreduce and the
+      // whole ring deadlocks one iteration apart. The per-iteration
+      // drain keeps live ranks within one iteration of each other, so a
+      // single send of the current (stale-tolerant) boundary closes the
+      // gap; if the peer healed in the same iteration the extra message
+      // is simply never consumed.
+      if (it > 0 && halo.right != old_right && halo.right >= 0) {
+        comm.wait(comm.isend(&halo.sbuf_r, sizeof(double), halo.right,
+                             kTagToRight));
+      }
+      if (it > 0 && halo.left != old_left && halo.left >= 0) {
+        comm.wait(comm.isend(&halo.sbuf_l, sizeof(double), halo.left,
+                             kTagToLeft));
+      }
+    }
+    if (em.begin_iteration(static_cast<std::uint32_t>(it))) {
+      emit_iteration(em, mesh, dcfg, static_cast<std::uint32_t>(it), &halo);
+    }
+    em.end_iteration();
+  }
+  rt.taskwait();
+}
+
 }  // namespace tdg::apps::lulesh

@@ -101,4 +101,18 @@ void run_parallel_for(Runtime& rt, Mesh& mesh, const Config& cfg);
 void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
                      Mesh& mesh, const Config& cfg, bool persistent);
 
+/// Distributed run with an explicit peer-death recovery mode. Unlike the
+/// plain variant it drains at every iteration boundary, which is what
+/// lets a peer death cascade to termination: in Poison mode the taskwait
+/// surfaces the poisoning so the rank exits and its peers' receives fail
+/// fast; ShrinkRedistribute additionally re-reads the ring topology from
+/// the failure detector before every iteration, so a dead neighbour
+/// structurally heals into either the next survivor or the physical-
+/// boundary ghost clamp, comm tasks are emitted idempotent, and in-flight
+/// receives orphaned by a death complete locally. Shrink requires
+/// `persistent == false` (the captured graph could not change shape).
+void run_distributed(Runtime& rt, mpi::Comm& comm, mpi::RequestPoller& poller,
+                     Mesh& mesh, const Config& cfg, bool persistent,
+                     RecoveryMode recovery);
+
 }  // namespace tdg::apps::lulesh

@@ -64,6 +64,20 @@ class VerifyError : public Error {
   std::string report_;
 };
 
+/// A remote rank died (fault-plan kill or heartbeat timeout) while an
+/// operation depended on it: in-flight receives from the dead rank fail
+/// fast with this error, and the dead rank's own unwinding uses it too.
+/// `rank()` names the failed rank.
+class RankFailedError : public Error {
+ public:
+  RankFailedError(int rank, std::string msg)
+      : Error(std::move(msg)), rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
 /// One task whose body threw (after exhausting its retry budget).
 struct TaskFailure {
   std::uint64_t task_id = 0;

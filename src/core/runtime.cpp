@@ -41,6 +41,21 @@ void Event::fulfill() {
   }
 }
 
+void Event::poison(std::exception_ptr err) {
+  if (fulfilled_.exchange(true, std::memory_order_acq_rel)) return;
+  Task* t = task_;
+  if (t == nullptr) return;
+  // Failing the owning task before releasing the latch routes completion
+  // through the normal failed-task path: successors are cancelled by
+  // graph poisoning and the group error surfaces at taskwait.
+  runtime_->record_failure(t, std::move(err),
+                           std::max(1u, t->retry_attempts));
+  runtime_->watchdog_.note_progress();
+  if (t->completion_latch.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    runtime_->complete_task(t, runtime_->current_slot());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Construction / teardown
 // ---------------------------------------------------------------------------
@@ -256,6 +271,7 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
     opts.detach->task_ = t;
     opts.detach->task_label_ = opts.label;
     opts.detach->task_id_ = t->id();
+    opts.detach->task_idempotent_ = opts.idempotent;
   }
   if (discovering_persistent_) {
     t->persistent = true;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <exception>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -38,6 +39,13 @@ class Event {
   /// task body has already returned, this triggers task completion.
   void fulfill();
 
+  /// Fail the event: the owning task is marked Failed carrying `err`, its
+  /// dependents are cancelled through graph poisoning, and the graph keeps
+  /// draining. Used when the operation a detach waits on can never
+  /// complete (e.g. a receive from a dead rank). Idempotent with respect
+  /// to fulfill(): whichever happens first wins.
+  void poison(std::exception_ptr err);
+
   bool fulfilled() const noexcept {
     return fulfilled_.load(std::memory_order_acquire);
   }
@@ -47,6 +55,8 @@ class Event {
   /// strings, so the snapshot stays readable for the event's lifetime.
   const char* task_label() const noexcept { return task_label_; }
   std::uint64_t task_id() const noexcept { return task_id_; }
+  /// TaskOpts::idempotent of the owning task (recovery contract probe).
+  bool task_idempotent() const noexcept { return task_idempotent_; }
 
  private:
   friend class Runtime;
@@ -57,6 +67,7 @@ class Event {
   Runtime* runtime_ = nullptr;
   const char* task_label_ = "";  // diagnostic snapshot, set at submit
   std::uint64_t task_id_ = 0;
+  bool task_idempotent_ = false;  // snapshot of TaskOpts::idempotent
 };
 
 /// Type-erased task body with inline small-buffer storage.
@@ -168,6 +179,13 @@ struct TaskOpts {
   const char* label = "";     ///< profiler label (static string)
   Event* detach = nullptr;    ///< detach event; task completes on fulfill
   bool internal = false;      ///< runtime-inserted node (e.g. inoutset R)
+  /// The body's effect is safe to re-execute or re-satisfy locally: the
+  /// recovery layer may re-route or locally complete this task's detach
+  /// instead of poisoning it when a peer rank dies. Annotating a
+  /// non-idempotent task invites stale/duplicated effects — the contract
+  /// is that the body writes only its declared outputs, from inputs that
+  /// remain valid after a failure.
+  bool idempotent = false;
   /// Transient-failure policy: a body that throws is re-run up to
   /// `max_retries` times before the task is declared failed and its
   /// dependents cancelled. Retries sleep `retry_backoff_seconds * 2^k`

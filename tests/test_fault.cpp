@@ -440,6 +440,117 @@ TEST(CommDeadline, WaitallForReportsOnlyPendingRequests) {
   });
 }
 
+TEST(CommDeadline, FiresExactlyOnceUnderStragglerAndDuplicates) {
+  // One expired wait throws exactly one DeadlineError; the request is
+  // still live afterwards and a later wait can pick it up once the
+  // straggler's message lands — injection must not multiply the throw.
+  Universe::Options opts;
+  opts.faults.seed = 31;
+  opts.faults.duplicate_probability = 0.5;
+  opts.faults.straggler_ranks = {1};
+  opts.faults.straggler_delay_seconds = 0.3;
+  Universe::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      double in = -1;
+      auto r = comm.irecv(&in, sizeof in, 1, 2);
+      int deadline_errors = 0;
+      try {
+        comm.wait_for(r, 0.05);
+      } catch (const DeadlineError&) {
+        ++deadline_errors;
+      }
+      EXPECT_EQ(deadline_errors, 1);
+      EXPECT_FALSE(r.done());
+      comm.wait_for(r, 10.0);  // the straggler delivers eventually
+      EXPECT_EQ(in, 6.5);
+      comm.barrier();
+    } else {
+      double v = 6.5;
+      comm.wait(comm.isend(&v, sizeof v, 0, 2));
+      comm.barrier();
+    }
+  }, opts);
+}
+
+TEST(CommDeadline, WaitallForReportsEveryIncompleteRequest) {
+  // A partially-completed set under duplicate injection: the report must
+  // name each incomplete request and omit every completed one.
+  Universe::Options opts;
+  opts.faults.seed = 37;
+  opts.faults.duplicate_probability = 0.5;
+  Universe::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      double a = 0, b = 0, c = 0, d = 0;
+      std::vector<tdg::mpi::Request> rs;
+      rs.push_back(comm.irecv(&a, sizeof a, 1, 1));   // sent
+      rs.push_back(comm.irecv(&b, sizeof b, 1, 97));  // never sent
+      rs.push_back(comm.irecv(&c, sizeof c, 1, 2));   // sent
+      rs.push_back(comm.irecv(&d, sizeof d, 1, 98));  // never sent
+      try {
+        comm.waitall_for(rs, 0.3);
+        FAIL() << "waitall_for did not expire";
+      } catch (const DeadlineError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("tag=97"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tag=98"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("tag=1 "), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("tag=2 "), std::string::npos) << msg;
+      }
+      comm.barrier();
+    } else {
+      double v = 1.5;
+      comm.send(&v, sizeof v, 0, 1);
+      comm.send(&v, sizeof v, 0, 2);
+      comm.barrier();
+    }
+  }, opts);
+}
+
+TEST(CommDeadline, DeadlineErrorDoesNotLeakThePollingHook) {
+  // A DeadlineError unwinding past a RequestPoller must leave the hook
+  // machinery consistent: the surviving poller still completes later
+  // requests, and once it is destroyed a fresh hook installs cleanly.
+  Universe::Options opts;
+  opts.faults.seed = 41;
+  opts.faults.straggler_ranks = {1};
+  opts.faults.straggler_delay_seconds = 0.2;
+  Universe::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Runtime rt({.num_threads = 2});
+      {
+        RequestPoller poller(rt, comm);
+        double in = -1;
+        auto r = comm.irecv(&in, sizeof in, 1, 3);
+        EXPECT_THROW(comm.wait_for(r, 0.05), DeadlineError);
+        // The poller's hook survived the unwind: a tracked request still
+        // completes through runtime polling.
+        tdg::Event* ev = rt.create_event();
+        rt.submit([&, ev] { poller.complete_on_event(r, ev); }, {},
+                  {.label = "late-recv", .detach = ev});
+        rt.taskwait();
+        EXPECT_EQ(in, 8.25);
+      }
+      // The destroyed poller uninstalled its hook; a fresh one installs
+      // and is actually invoked: only the hook fulfills the detach event,
+      // so this taskwait can complete no other way.
+      std::atomic<int> hook_calls{0};
+      tdg::Event* ev2 = rt.create_event();
+      auto token = rt.set_polling_hook([&hook_calls, ev2] {
+        if (hook_calls.fetch_add(1) == 3) ev2->fulfill();
+      });
+      rt.submit([] {}, {}, {.label = "hook-driven", .detach = ev2});
+      rt.taskwait();
+      EXPECT_GT(hook_calls.load(), 3);
+      rt.clear_polling_hook(token);
+      comm.barrier();
+    } else {
+      double v = 8.25;
+      comm.wait(comm.isend(&v, sizeof v, 0, 3));
+      comm.barrier();
+    }
+  }, opts);
+}
+
 // ---------------------------------------------------------------------------
 // Universe exception propagation
 // ---------------------------------------------------------------------------
@@ -591,7 +702,9 @@ TEST(FaultInjection, WatchdogReportNamesPendingRequestUnderStraggler) {
   // Full-stack acceptance: runtime watchdog + RequestPoller diagnostic.
   // A detached receive task depends on a straggler's message that cannot
   // arrive before the watchdog deadline; the taskwait DeadlineError must
-  // name the pending request and the owning task.
+  // name the pending request and the owning task, and embed the per-rank
+  // heartbeat/status table plus the fault counters injected since the
+  // poller armed the diagnostic.
   Universe::Options opts;
   opts.faults.seed = 21;
   opts.faults.straggler_ranks = {1};
@@ -602,7 +715,7 @@ TEST(FaultInjection, WatchdogReportNamesPendingRequestUnderStraggler) {
       cfg.num_threads = 2;
       cfg.watchdog.deadline_seconds = 0.25;
       Runtime rt(cfg);
-      RequestPoller poller(rt);
+      RequestPoller poller(rt, comm);
       double in = -1;
       Event* ev = rt.create_event();
       rt.submit(
@@ -620,6 +733,11 @@ TEST(FaultInjection, WatchdogReportNamesPendingRequestUnderStraggler) {
         EXPECT_NE(report.find("irecv src=1 tag=6"), std::string::npos)
             << report;
         EXPECT_NE(report.find("halo-recv"), std::string::npos) << report;
+        EXPECT_NE(report.find("rank 0:"), std::string::npos) << report;
+        EXPECT_NE(report.find("heartbeat"), std::string::npos) << report;
+        EXPECT_NE(report.find("injected faults since arming"),
+                  std::string::npos)
+            << report;
       }
       // Unwedge for teardown: the message does arrive, 30s out — fulfill
       // the event directly instead of waiting for it.
