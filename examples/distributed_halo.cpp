@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(nranks));
   tdg::mpi::Universe::run(nranks, [&](tdg::mpi::Comm& comm) {
     tdg::Runtime rt({.num_threads = 2});
-    tdg::mpi::RequestPoller poller(rt);
+    // Comm-aware: stamps the profiler's rank, records comm trace events
+    // under TDG_TRACE, and samples telemetry under TDG_TELEMETRY.
+    tdg::mpi::RequestPoller poller(rt, comm);
     lulesh::Mesh m(per_rank);
     const std::int64_t offset = per_rank * comm.rank();
     m.init_partition(per_rank * nranks, offset);

@@ -52,11 +52,28 @@ else:
 }
 
 # record_trajectory <file> <bench-name> <threads> <median>: append one
-# record to the JSON-array trajectory file (created on first use).
+# record to the JSON-array trajectory file (created on first use). The
+# new record is validated before it is written (a NaN median or broken
+# measurement fails the run rather than poisoning the history); a corrupt
+# existing file is quarantined to <file>.corrupt and malformed existing
+# records are dropped with a warning, so the file stays parseable JSON.
 record_trajectory() {
   python3 - "$out_dir/$1" "$2" "$3" "$4" <<'EOF'
-import datetime, json, os, subprocess, sys
+import datetime, json, math, os, subprocess, sys
 path, name, threads, median = sys.argv[1:5]
+try:
+    threads = int(threads)
+    median = float(median)
+except ValueError as e:
+    sys.exit(f"bench-smoke FAILED: unparseable measurement for {name}: {e}")
+if not math.isfinite(median) or median <= 0:
+    sys.exit(f"bench-smoke FAILED: bad median for {name}: {median}")
+if threads <= 0:
+    sys.exit(f"bench-smoke FAILED: bad thread count for {name}: {threads}")
+# Record names carry the thread count as their final "/N" segment (the
+# google-benchmark convention); normalize so every record is consistent.
+if not name.endswith(f"/{threads}"):
+    name = f"{name}/{threads}"
 try:
     sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                          text=True, check=True).stdout.strip()
@@ -64,12 +81,33 @@ except Exception:
     sha = "unknown"
 records = []
 if os.path.exists(path):
-    with open(path) as f:
-        records = json.load(f)
+    try:
+        with open(path) as f:
+            records = json.load(f)
+        if not isinstance(records, list):
+            raise ValueError("trajectory root is not a JSON array")
+    except ValueError as e:
+        quarantine = path + ".corrupt"
+        os.replace(path, quarantine)
+        print(f"=== [bench-smoke] WARNING: {path} invalid ({e}); "
+              f"quarantined to {quarantine} ===")
+        records = []
+valid = []
+for r in records:
+    ok = (isinstance(r, dict) and isinstance(r.get("name"), str)
+          and isinstance(r.get("threads"), int)
+          and isinstance(r.get("median_items_per_second"), (int, float))
+          and math.isfinite(r["median_items_per_second"]))
+    if ok:
+        valid.append(r)
+    else:
+        print(f"=== [bench-smoke] WARNING: dropping malformed record "
+              f"{r!r} ===")
+records = valid
 records.append({
     "name": name,
-    "median_items_per_second": float(median),
-    "threads": int(threads),
+    "median_items_per_second": median,
+    "threads": threads,
     "git_sha": sha,
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
 })

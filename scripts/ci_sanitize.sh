@@ -71,6 +71,12 @@ echo "=== sanitizer runs passed: ${sanitizers[*]} ==="
 # the baseline-recording protocol.
 scripts/ci_bench_smoke.sh
 
+# Observability smoke: trace a run end-to-end, stitch the 4-rank
+# distributed_halo traces with tdg-trace merge, and assert the merged
+# view shows cross-rank message edges, nonzero comm wait, and a per-rank
+# telemetry series. Uses the unsanitized tree.
+scripts/ci_trace_smoke.sh
+
 # Chaos soak: the example universes under seeded loss+kill fault plans,
 # every cell with TDG_VERIFY=strict and a wall-clock cap. Uses the
 # unsanitized tree (the sanitizers above already cover the comm layer's

@@ -4,6 +4,11 @@
 # trace is well-formed JSON (python3, when available), then run the
 # tdg-trace CLI (summary / critpath / export round-trip) on it.
 #
+# The distributed section then runs distributed_halo on 4 simulated ranks
+# with comm tracing + telemetry on, stitches the per-rank files with
+# `tdg-trace merge`, and asserts the merged view reports cross-rank
+# message edges and nonzero communication wait.
+#
 # Usage: scripts/ci_trace_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -16,7 +21,8 @@ echo "=== [trace-smoke] configure ($dir) ==="
 cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 
 echo "=== [trace-smoke] build ==="
-cmake --build "$dir" -j "$jobs" --target cholesky_demo tdg-trace
+cmake --build "$dir" -j "$jobs" --target cholesky_demo distributed_halo \
+      tdg-trace
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -57,5 +63,72 @@ echo "=== [trace-smoke] tdg-trace export round-trip ==="
 "$dir/tools/tdg-trace" summary "$workdir/trace.tsv" >/dev/null
 "$dir/tools/tdg-trace" export "$workdir/trace.tsv" -o "$workdir/back.json"
 "$dir/tools/tdg-trace" critpath "$workdir/back.json" -n 1 >/dev/null
+
+echo "=== [trace-smoke] distributed_halo on 4 ranks with tracing ==="
+# Each rank's runtime writes its own sequence-numbered trace file
+# (dist.json, dist.json.1, ...); telemetry dumps a per-rank time-series.
+(cd "$workdir" && TDG_TRACE=perfetto TDG_TRACE_FILE="$workdir/dist.json" \
+    TDG_TELEMETRY=dump TDG_TELEMETRY_FILE="$workdir/telemetry.json" \
+    TDG_TELEMETRY_PERIOD_MS=1 \
+    "$OLDPWD/$dir/examples/distributed_halo" 4 2048 6)
+rank_traces=("$workdir"/dist.json*)
+[ "${#rank_traces[@]}" -eq 4 ] || {
+  echo "expected 4 per-rank trace files, got ${#rank_traces[@]}" >&2
+  exit 1
+}
+
+echo "=== [trace-smoke] merge per-rank traces ==="
+merged="$workdir/merged.json"
+"$dir/tools/tdg-trace" merge "${rank_traces[@]}" -o "$merged" \
+    2> "$workdir/merge.log"
+cat "$workdir/merge.log"
+grep -q "matched [1-9]" "$workdir/merge.log" || {
+  echo "merge matched no send/recv pairs" >&2; exit 1;
+}
+
+echo "=== [trace-smoke] merged summary / timeline / critpath ==="
+"$dir/tools/tdg-trace" summary "$merged" | tee "$workdir/summary.log"
+"$dir/tools/tdg-trace" timeline "$merged" | tee "$workdir/timeline.log"
+"$dir/tools/tdg-trace" critpath "$merged" -n 3 > "$workdir/critpath.log"
+
+# Cross-rank edges made it into the merged graph...
+edges=$(sed -n 's/.*cross-rank message edges: \([0-9]*\).*/\1/p' \
+        "$workdir/summary.log")
+[ -n "$edges" ] && [ "$edges" -gt 0 ] || {
+  echo "merged summary reports no cross-rank message edges" >&2; exit 1;
+}
+# ...and the timeline attributes nonzero communication wait.
+grep -q "comm wait" "$workdir/timeline.log" || {
+  echo "timeline lacks the comm-wait column" >&2; exit 1;
+}
+if grep -q "comm wait: 0.0 us" "$workdir/timeline.log"; then
+  echo "timeline reports zero communication wait" >&2; exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== [trace-smoke] validate merged trace + telemetry JSON ==="
+  python3 - "$merged" "$workdir/telemetry.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+comm = [e for e in events if e.get("cat") == "comm"]
+msg = [e for e in events if e.get("cat") == "msg"]
+pids = {e["pid"] for e in events if e.get("ph") == "X"}
+assert comm, "no comm slices in merged trace"
+assert msg, "no cross-rank message flows in merged trace"
+assert len(pids) >= 4, f"expected >= 4 rank tracks, got {sorted(pids)}"
+with open(sys.argv[2]) as f:
+    telem = json.load(f)
+ranks = telem["ranks"]
+assert len(ranks) == 4, f"expected 4 telemetry ranks, got {len(ranks)}"
+for r in ranks:
+    assert r["samples"], f"rank {r['rank']} has no telemetry samples"
+print(f"merged trace ok: {len(comm)} comm slices, {len(msg)} message "
+      f"flows, {len(ranks)} telemetry ranks")
+EOF
+else
+  echo "=== [trace-smoke] python3 not found; skipping JSON validation ==="
+fi
 
 echo "=== trace smoke passed ==="

@@ -1,6 +1,7 @@
 #include "core/analysis.hpp"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "core/error.hpp"
@@ -90,7 +91,11 @@ CriticalPath critical_path(std::span<const TaskRecord> records,
     node.label = r.label;
     node.t_start = r.t_start;
     node.t_end = r.t_end;
+    node.rank = r.rank;
     by_label[node.label] += node.seconds();
+    if (!cp.nodes.empty() && cp.nodes.back().rank != node.rank) {
+      ++cp.comm_hops;
+    }
     cp.nodes.push_back(std::move(node));
   }
   cp.label_seconds.assign(by_label.begin(), by_label.end());
@@ -174,6 +179,116 @@ double discovery_execution_overlap(std::span<const TaskRecord> records) {
   }
   covered += cur_hi - cur_lo;
   return static_cast<double>(covered) / static_cast<double>(w_hi - w_lo);
+}
+
+std::vector<TraceEdge> message_edges(std::span<const CommRecord> comms) {
+  // Match sends to receives by (src, dst, tag, seq); a pair with task
+  // attribution on both sides yields one edge. seq 0 (stream sequencing
+  // off) and collectives are unmatchable.
+  struct Key {
+    std::int32_t src, dst, tag;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      if (tag != o.tag) return tag < o.tag;
+      return seq < o.seq;
+    }
+  };
+  std::map<Key, std::pair<const CommRecord*, const CommRecord*>> pairs;
+  for (const CommRecord& c : comms) {
+    if (c.seq == 0 || c.kind == CommRecord::Kind::Collective) continue;
+    const Key k = c.kind == CommRecord::Kind::Send
+                      ? Key{c.self, c.peer, c.tag, c.seq}
+                      : Key{c.peer, c.self, c.tag, c.seq};
+    if (c.kind == CommRecord::Kind::Send) {
+      pairs[k].first = &c;
+    } else {
+      pairs[k].second = &c;
+    }
+  }
+  std::vector<TraceEdge> edges;
+  for (const auto& [k, pr] : pairs) {
+    if (pr.first == nullptr || pr.second == nullptr) continue;
+    if (pr.first->task_id == 0 || pr.second->task_id == 0) continue;
+    if (pr.first->task_id == pr.second->task_id) continue;
+    edges.push_back(TraceEdge{pr.first->task_id, pr.second->task_id});
+  }
+  return edges;
+}
+
+std::vector<CommWaitEntry> comm_wait_by_label(
+    std::span<const CommRecord> comms,
+    std::span<const TaskRecord> records) {
+  std::unordered_map<std::uint64_t, const char*> label_of;
+  label_of.reserve(records.size());
+  for (const TaskRecord& r : records) {
+    label_of.emplace(r.task_id, r.label);
+  }
+  auto fallback = [](CommRecord::Kind k) {
+    switch (k) {
+      case CommRecord::Kind::Send: return "(send)";
+      case CommRecord::Kind::Recv: return "(recv)";
+      case CommRecord::Kind::Collective: return "(collective)";
+    }
+    return "(send)";
+  };
+  std::unordered_map<std::string, CommWaitEntry> by_label;
+  for (const CommRecord& c : comms) {
+    const char* label = fallback(c.kind);
+    if (auto it = label_of.find(c.task_id);
+        c.task_id != 0 && it != label_of.end() && it->second[0] != '\0') {
+      label = it->second;
+    }
+    CommWaitEntry& e = by_label[label];
+    if (e.label.empty()) e.label = label;
+    ++e.ops;
+    e.bytes += c.bytes;
+    if (c.t_complete > c.t_post) {
+      e.wait_seconds +=
+          static_cast<double>(c.t_complete - c.t_post) * 1e-9;
+    }
+  }
+  std::vector<CommWaitEntry> out;
+  out.reserve(by_label.size());
+  for (auto& [label, e] : by_label) out.push_back(std::move(e));
+  std::sort(out.begin(), out.end(),
+            [](const CommWaitEntry& a, const CommWaitEntry& b) {
+              return a.wait_seconds > b.wait_seconds;
+            });
+  return out;
+}
+
+std::vector<RankOverlap> rank_overlap_matrix(
+    std::span<const TaskRecord> records,
+    std::span<const CommRecord> comms) {
+  std::map<std::int32_t, std::vector<TaskRecord>> by_rank;
+  for (const TaskRecord& r : records) by_rank[r.rank].push_back(r);
+  std::map<std::int32_t, double> comm_wait;
+  for (const CommRecord& c : comms) {
+    if (c.kind == CommRecord::Kind::Send) continue;
+    if (c.t_complete > c.t_post) {
+      comm_wait[c.self] +=
+          static_cast<double>(c.t_complete - c.t_post) * 1e-9;
+    }
+    by_rank[c.self];  // a rank that only communicated still gets a row
+  }
+  std::vector<RankOverlap> out;
+  out.reserve(by_rank.size());
+  for (const auto& [rank, recs] : by_rank) {
+    RankOverlap row;
+    row.rank = rank;
+    row.tasks = recs.size();
+    row.overlap = discovery_execution_overlap(recs);
+    const ParallelismProfile p = parallelism_profile(recs);
+    row.span_seconds = p.span_seconds;
+    row.busy_seconds = p.busy_seconds;
+    if (auto it = comm_wait.find(rank); it != comm_wait.end()) {
+      row.comm_wait_seconds = it->second;
+    }
+    out.push_back(row);
+  }
+  return out;
 }
 
 }  // namespace tdg

@@ -1,5 +1,6 @@
 #include "core/metrics.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <ostream>
@@ -135,6 +136,32 @@ std::uint64_t MetricsSnapshot::value(std::string_view name) const {
   return e != nullptr ? e->value : 0;
 }
 
+double MetricsSnapshot::Entry::percentile(double p) const {
+  if (value == 0 || buckets.empty()) return 0.0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(value);
+  std::uint64_t cum = 0;
+  double hi = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b).
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+    const std::uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target) {
+      double frac = (target - static_cast<double>(prev)) /
+                    static_cast<double>(buckets[b]);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lo + frac * (hi - lo);
+    }
+  }
+  // Rounding fell off the end: the upper edge of the last populated bucket.
+  return hi;
+}
+
 MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& newer,
                                        const MetricsSnapshot& older) {
   MetricsSnapshot d;
@@ -170,6 +197,10 @@ void MetricsSnapshot::write_text(std::ostream& os, bool nonzero_only) const {
         break;
       case MetricKind::Histogram: {
         os << "count=" << e.value << " mean=" << e.mean();
+        if (e.value > 0) {
+          os << " p50=" << e.percentile(0.50) << " p95=" << e.percentile(0.95)
+             << " p99=" << e.percentile(0.99);
+        }
         os << " buckets=[";
         bool first = true;
         for (std::size_t b = 0; b < e.buckets.size(); ++b) {
@@ -202,7 +233,9 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
         break;
       case MetricKind::Histogram: {
         os << "\"kind\":\"histogram\",\"count\":" << e.value
-           << ",\"sum\":" << e.sum << ",\"buckets\":[";
+           << ",\"sum\":" << e.sum << ",\"p50\":" << e.percentile(0.50)
+           << ",\"p95\":" << e.percentile(0.95)
+           << ",\"p99\":" << e.percentile(0.99) << ",\"buckets\":[";
         for (std::size_t b = 0; b < e.buckets.size(); ++b) {
           if (b != 0) os << ',';
           os << e.buckets[b];

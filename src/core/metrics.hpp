@@ -50,6 +50,13 @@ struct MetricsSnapshot {
       return value > 0 ? static_cast<double>(sum) / static_cast<double>(value)
                        : 0.0;
     }
+
+    /// Approximate percentile (p in (0, 1]) from the log2 buckets: walk
+    /// the cumulative counts to the target rank and interpolate linearly
+    /// inside the bucket's [2^(i-1), 2^i) value range. Exact for zeros
+    /// (bucket 0); within a factor of 2 otherwise, which is what a
+    /// log-scale latency histogram can promise.
+    double percentile(double p) const;
   };
 
   std::uint64_t taken_ns = 0;
@@ -135,6 +142,17 @@ class MetricsRegistry {
       value >>= 1;
     }
     return w < kHistBuckets ? w : kHistBuckets - 1;
+  }
+
+  /// Sum one registered counter/gauge slot across shards — the telemetry
+  /// sampler's cheap single-metric read (no snapshot allocation).
+  std::uint64_t read(Id id) const {
+    if (!id.valid()) return 0;
+    std::uint64_t total = 0;
+    for (const Shard& sh : shards_) {
+      total += sh.slots[id.slot].load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
   MetricsSnapshot snapshot() const;

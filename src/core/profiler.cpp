@@ -46,6 +46,17 @@ void Profiler::record_scope_clear(std::uint64_t max_task_id) {
   scope_clears_.push_back(max_task_id);
 }
 
+void Profiler::record_comm(const CommRecord& rec) {
+  if (!trace_enabled()) return;
+  SpinGuard g(comm_lock_);
+  comms_.push_back(rec);
+}
+
+std::vector<CommRecord> Profiler::comm_records() const {
+  SpinGuard g(comm_lock_);
+  return comms_;
+}
+
 Breakdown Profiler::breakdown() const {
   Breakdown b;
   // Sized from the accumulators at call time, not from a cached width, so
@@ -111,6 +122,12 @@ void Profiler::reset() {
   accesses_.clear();
   barriers_.clear();
   scope_clears_.clear();
+  // Quiesce the comm ring under its own lock: the request poller records
+  // from arbitrary worker threads, so clearing without the lock (or not
+  // clearing at all) would leave stale comm records attributed to flow
+  // events of a graph that was just reset.
+  SpinGuard g(comm_lock_);
+  comms_.clear();
 }
 
 void Profiler::reset(unsigned nthreads) {
@@ -126,6 +143,8 @@ void Profiler::reset(unsigned nthreads) {
   accesses_.clear();
   barriers_.clear();
   scope_clears_.clear();
+  SpinGuard g(comm_lock_);
+  comms_.clear();
 }
 
 }  // namespace tdg

@@ -26,6 +26,26 @@ struct TaskRecord {
   std::uint32_t thread = 0;    ///< executing thread slot
   std::uint32_t iteration = 0; ///< persistent-region iteration
   const char* label = "";
+  std::int32_t rank = 0;       ///< owning rank (merged multi-rank traces)
+};
+
+/// One completed communication operation of the recording rank (trace mode
+/// only). Matched send/recv records across ranks share (src, dst, tag, seq)
+/// — per-stream non-overtaking means the nth send on a (peer, tag) stream
+/// pairs with the nth receive — and become Perfetto message-flow arrows and
+/// the cross-rank edges of the merged critical-path analysis.
+struct CommRecord {
+  enum class Kind : std::uint8_t { Send, Recv, Collective };
+  Kind kind = Kind::Send;
+  std::int32_t self = 0;          ///< recording rank
+  std::int32_t peer = -1;         ///< dest for sends, src for recvs
+  std::int32_t tag = -1;          ///< message tag (collective slot id)
+  std::uint64_t seq = 0;          ///< 1-based per-(src,dst,tag) stream seq
+  std::uint64_t bytes = 0;
+  std::uint64_t t_post = 0;       ///< ns, operation posted
+  std::uint64_t t_complete = 0;   ///< ns, request completed
+  std::uint32_t retransmits = 0;  ///< universe retransmit total at complete
+  std::uint64_t task_id = 0;      ///< owning detach task (0 = none)
 };
 
 /// One discovered dependence edge, by task id (trace mode only; feeds the
@@ -120,6 +140,11 @@ class Profiler {
   /// later ones. Producer thread only; consecutive duplicates dropped.
   void record_scope_clear(std::uint64_t max_task_id);
 
+  /// Record a completed communication operation (trace mode only).
+  /// Thread-safe: the request poller fires from whichever worker hits the
+  /// polling hook, so the comm ring has its own lock.
+  void record_comm(const CommRecord& rec);
+
   // --- post-mortem analysis ----------------------------------------------
   Breakdown breakdown() const;
   /// All records, merged and sorted by start time.
@@ -134,6 +159,14 @@ class Profiler {
   const std::vector<std::uint64_t>& scope_clears() const {
     return scope_clears_;
   }
+  /// Completed comm operations, in recording order (copies under the comm
+  /// ring lock — safe while the poller is still recording).
+  std::vector<CommRecord> comm_records() const;
+
+  /// Rank identity stamped into exported traces. Set once by the comm-
+  /// aware request poller; stays 0 for single-process runtimes.
+  void set_rank(int rank) { rank_.store(rank, std::memory_order_relaxed); }
+  int rank() const { return rank_.load(std::memory_order_relaxed); }
 
   /// Write a Gantt-chart-friendly TSV: thread, start_s, end_s, iteration,
   /// label (Fig. 8 input format).
@@ -163,12 +196,15 @@ class Profiler {
   }
 
   std::atomic<bool> trace_enabled_;
+  std::atomic<int> rank_{0};
   std::vector<Accum> acc_;
   std::vector<TraceBuf> trace_;
   std::vector<TraceEdge> edges_;
   std::vector<AccessRecord> accesses_;
   std::vector<std::uint64_t> barriers_;
   std::vector<std::uint64_t> scope_clears_;
+  mutable SpinLock comm_lock_;  // record_comm runs on any worker thread
+  std::vector<CommRecord> comms_;
 };
 
 }  // namespace tdg

@@ -188,7 +188,8 @@ void Runtime::finalize_observability() {
   // rank) get sequence-numbered files so they do not clobber each other.
   if (trace_env_.mode != TraceMode::Off) {
     const std::vector<TaskRecord> records = profiler_->merged_trace();
-    if (!records.empty()) {
+    const std::vector<CommRecord> comms = profiler_->comm_records();
+    if (!records.empty() || !comms.empty()) {
       static std::atomic<int> seq{0};
       const int k = seq.fetch_add(1, std::memory_order_relaxed);
       const char* ext =
@@ -203,13 +204,17 @@ void Runtime::finalize_observability() {
       std::ofstream os(path);
       if (os) {
         if (trace_env_.mode == TraceMode::Perfetto) {
+          // Base pid = this runtime's rank so per-rank files from one
+          // Universe land on distinct process tracks even before merging.
+          PerfettoOptions popts;
+          popts.pid = profiler_->rank();
           write_perfetto(os, records, profiler_->edges(),
                          profiler_->accesses(), profiler_->barriers(),
-                         profiler_->scope_clears());
+                         profiler_->scope_clears(), comms, popts);
         } else {
           write_trace_tsv(os, records, profiler_->accesses(),
-                          profiler_->barriers(),
-                          profiler_->scope_clears());
+                          profiler_->barriers(), profiler_->scope_clears(),
+                          comms);
         }
         std::fprintf(stderr,
                      "tdg: trace written to %s (%zu records, %zu edges)\n",

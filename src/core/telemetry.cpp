@@ -1,0 +1,115 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace tdg {
+
+TelemetryConfig telemetry_env_config() {
+  TelemetryConfig cfg;
+  const char* mode = std::getenv("TDG_TELEMETRY");
+  if (mode != nullptr) {
+    if (std::strcmp(mode, "on") == 0 || std::strcmp(mode, "1") == 0 ||
+        std::strcmp(mode, "true") == 0) {
+      cfg.enabled = true;
+    } else if (std::strcmp(mode, "dump") == 0) {
+      cfg.enabled = true;
+      cfg.dump = true;
+    }
+    // anything else (off, 0, empty, typos) leaves telemetry off
+  }
+  if (const char* path = std::getenv("TDG_TELEMETRY_FILE");
+      path != nullptr && *path != '\0') {
+    cfg.path = path;
+  }
+  if (const char* period = std::getenv("TDG_TELEMETRY_PERIOD_MS");
+      period != nullptr && *period != '\0') {
+    const long ms = std::strtol(period, nullptr, 10);
+    if (ms > 0) cfg.period_ns = static_cast<std::uint64_t>(ms) * 1'000'000;
+  }
+  return cfg;
+}
+
+TelemetryHub& TelemetryHub::instance() {
+  static TelemetryHub hub;
+  return hub;
+}
+
+std::shared_ptr<TelemetryRing> TelemetryHub::attach(int rank,
+                                                    std::size_t capacity) {
+  auto ring = std::make_shared<TelemetryRing>(capacity);
+  std::lock_guard<std::mutex> g(mu_);
+  rings_.emplace_back(rank, ring);
+  return ring;
+}
+
+std::vector<RankTelemetry> TelemetryHub::collect() const {
+  std::vector<std::pair<int, std::shared_ptr<TelemetryRing>>> rings;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    rings = rings_;
+  }
+  std::vector<RankTelemetry> out;
+  for (const auto& [rank, ring] : rings) {
+    auto it = std::find_if(out.begin(), out.end(), [rank = rank](
+                               const RankTelemetry& t) {
+      return t.rank == rank;
+    });
+    if (it == out.end()) {
+      out.push_back(RankTelemetry{rank, {}});
+      it = out.end() - 1;
+    }
+    std::vector<TelemetrySample> samples = ring->snapshot();
+    it->samples.insert(it->samples.end(), samples.begin(), samples.end());
+  }
+  for (RankTelemetry& t : out) {
+    std::stable_sort(t.samples.begin(), t.samples.end(),
+                     [](const TelemetrySample& a, const TelemetrySample& b) {
+                       return a.t_ns < b.t_ns;
+                     });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankTelemetry& a, const RankTelemetry& b) {
+              return a.rank < b.rank;
+            });
+  return out;
+}
+
+std::vector<RankTelemetry> TelemetryHub::drain() {
+  std::vector<RankTelemetry> out = collect();
+  std::lock_guard<std::mutex> g(mu_);
+  rings_.clear();
+  return out;
+}
+
+void TelemetryHub::write_json(std::ostream& os,
+                              const std::vector<RankTelemetry>& telemetry) {
+  os << "{\"ranks\":[";
+  bool first_rank = true;
+  for (const RankTelemetry& t : telemetry) {
+    if (!first_rank) os << ',';
+    first_rank = false;
+    os << "\n{\"rank\":" << t.rank << ",\"samples\":[";
+    bool first = true;
+    for (const TelemetrySample& s : t.samples) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"t_ns\":" << s.t_ns
+         << ",\"tasks_executed\":" << s.tasks_executed
+         << ",\"sends\":" << s.sends << ",\"recvs\":" << s.recvs
+         << ",\"bytes_sent\":" << s.bytes_sent
+         << ",\"allreduces\":" << s.allreduces
+         << ",\"retransmits\":" << s.retransmits
+         << ",\"dup_suppressed\":" << s.dup_suppressed
+         << ",\"giveups\":" << s.giveups
+         << ",\"drops_injected\":" << s.drops_injected
+         << ",\"ranks_failed\":" << s.ranks_failed << '}';
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace tdg

@@ -1,0 +1,133 @@
+// Live telemetry aggregation: a periodic sampler (driven from the same
+// polling hook as the heartbeat detector) snapshots each rank's counters
+// into a fixed-capacity ring; the rings are registered with a process-wide
+// hub — the in-process analogue of piggybacking samples to rank 0 — which
+// Universe::run drains into Report::telemetry and, when enabled, into
+// telemetry.json on exit. The watchdog path dumps the same file on a hang,
+// so chaos-soak runs show *when* retransmits and poisonings happened, not
+// just final counts.
+//
+// Environment: TDG_TELEMETRY=on|dump (off by default; dump also writes the
+// JSON file), TDG_TELEMETRY_FILE=<path> (default telemetry.json),
+// TDG_TELEMETRY_PERIOD_MS=<ms> (default 5).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace tdg {
+
+/// One point-in-time snapshot of a rank's counters.
+struct TelemetrySample {
+  std::uint64_t t_ns = 0;           ///< sample timestamp
+  std::uint64_t tasks_executed = 0; ///< runtime exec.tasks counter
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t retransmits = 0;    ///< universe-wide reliable retransmits
+  std::uint64_t dup_suppressed = 0; ///< universe-wide duplicate deliveries
+  std::uint64_t giveups = 0;        ///< universe-wide reliable giveups
+  std::uint64_t drops_injected = 0; ///< universe-wide injected drops
+  std::int64_t ranks_failed = 0;    ///< detector's failed-rank count
+};
+
+struct TelemetryConfig {
+  bool enabled = false;
+  bool dump = false;  ///< write the JSON file on universe exit / hang
+  std::uint64_t period_ns = 5'000'000;  ///< sampling period (5 ms)
+  std::size_t ring_capacity = 1024;
+  std::string path = "telemetry.json";
+};
+
+/// Parse the TDG_TELEMETRY* environment (see the header comment).
+TelemetryConfig telemetry_env_config();
+
+/// Fixed-capacity sample ring: the oldest sample is overwritten once full,
+/// bounding memory like the paper bounds trace size by DRAM. push() is
+/// serialized by the sampler's time gate; snapshot() may race it and takes
+/// the same lock.
+class TelemetryRing {
+ public:
+  explicit TelemetryRing(std::size_t capacity)
+      : buf_(capacity > 0 ? capacity : 1) {}
+
+  void push(const TelemetrySample& s) {
+    SpinGuard g(mu_);
+    buf_[head_] = s;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      ++overwritten_;
+    }
+  }
+
+  /// Samples oldest to newest.
+  std::vector<TelemetrySample> snapshot() const {
+    SpinGuard g(mu_);
+    std::vector<TelemetrySample> out;
+    out.reserve(size_);
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[(start + i) % buf_.size()]);
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    SpinGuard g(mu_);
+    return size_;
+  }
+  /// Samples lost to ring wrap-around.
+  std::size_t overwritten() const {
+    SpinGuard g(mu_);
+    return overwritten_;
+  }
+
+ private:
+  mutable SpinLock mu_;
+  std::vector<TelemetrySample> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t overwritten_ = 0;
+};
+
+/// One rank's aggregated time-series.
+struct RankTelemetry {
+  int rank = 0;
+  std::vector<TelemetrySample> samples;  ///< sorted by t_ns
+};
+
+/// Process-wide aggregation point. Each rank's sampler attaches its ring
+/// here (ranks are threads of one process, so "piggybacking to rank 0"
+/// is a registry lookup); Universe::run drains everything on exit, and
+/// the watchdog dump path collects without detaching.
+class TelemetryHub {
+ public:
+  static TelemetryHub& instance();
+
+  std::shared_ptr<TelemetryRing> attach(int rank, std::size_t capacity);
+
+  /// Per-rank series, merged across multiple rings of the same rank and
+  /// sorted by time. Rings stay attached.
+  std::vector<RankTelemetry> collect() const;
+  /// collect(), then detach every ring — successive universes in one
+  /// process must not inherit each other's series.
+  std::vector<RankTelemetry> drain();
+
+  static void write_json(std::ostream& os,
+                         const std::vector<RankTelemetry>& telemetry);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<int, std::shared_ptr<TelemetryRing>>> rings_;
+};
+
+}  // namespace tdg

@@ -165,17 +165,58 @@ void decode_accesses(ParsedTrace& trace, std::uint64_t task_id,
   }
 }
 
+const char* comm_kind_code(CommRecord::Kind k) {
+  switch (k) {
+    case CommRecord::Kind::Send: return "send";
+    case CommRecord::Kind::Recv: return "recv";
+    case CommRecord::Kind::Collective: return "coll";
+  }
+  return "send";
+}
+
+bool comm_kind_from_code(std::string_view code, CommRecord::Kind& out) {
+  if (code == "send") out = CommRecord::Kind::Send;
+  else if (code == "recv") out = CommRecord::Kind::Recv;
+  else if (code == "coll") out = CommRecord::Kind::Collective;
+  else return false;
+  return true;
+}
+
+/// (src, dst, tag, seq) — the cross-rank identity of one message; the nth
+/// send on a stream pairs with the nth receive (non-overtaking delivery).
+struct MsgKey {
+  std::int32_t src, dst, tag;
+  std::uint64_t seq;
+  bool operator<(const MsgKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    if (tag != o.tag) return tag < o.tag;
+    return seq < o.seq;
+  }
+};
+
+MsgKey msg_key(const CommRecord& c) {
+  return c.kind == CommRecord::Kind::Send
+             ? MsgKey{c.self, c.peer, c.tag, c.seq}
+             : MsgKey{c.peer, c.self, c.tag, c.seq};
+}
+
 }  // namespace
+
+/// Dedicated tid for the per-rank communication track (above any worker).
+constexpr std::uint32_t kCommTid = 1000;
 
 void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
                     std::span<const TraceEdge> edges,
                     std::span<const AccessRecord> accesses,
                     std::span<const std::uint64_t> barriers,
                     std::span<const std::uint64_t> scope_clears,
+                    std::span<const CommRecord> comms,
                     const PerfettoOptions& opts) {
   std::uint64_t t0 = UINT64_MAX;
   for (const TaskRecord& r : records) t0 = std::min(t0, r.t_create);
-  if (records.empty()) t0 = 0;
+  for (const CommRecord& c : comms) t0 = std::min(t0, c.t_post);
+  if (t0 == UINT64_MAX) t0 = 0;
 
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -185,25 +226,46 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
     os << "\n";
   };
 
-  // Metadata: process and per-thread track names.
-  sep();
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << opts.pid
-     << ",\"tid\":0,\"args\":{\"name\":";
-  json_escape(os, opts.process_name);
-  os << "}}";
-  std::vector<std::uint32_t> threads;
+  // Metadata: per-rank process tracks and per-(rank, thread) track names.
+  // A single-rank trace keeps the configured process name; a merged
+  // multi-rank trace names each pid track "rank N".
+  std::vector<int> pids;
+  std::map<std::pair<int, std::uint32_t>, bool> threads;  // (pid,tid)->comm
   for (const TaskRecord& r : records) {
-    if (std::find(threads.begin(), threads.end(), r.thread) ==
-        threads.end()) {
-      threads.push_back(r.thread);
+    const int pid = opts.pid + r.rank;
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) {
+      pids.push_back(pid);
     }
+    threads.emplace(std::make_pair(pid, r.thread), false);
   }
-  std::sort(threads.begin(), threads.end());
-  for (std::uint32_t t : threads) {
+  for (const CommRecord& c : comms) {
+    if (std::find(pids.begin(), pids.end(), c.self) == pids.end()) {
+      pids.push_back(c.self);
+    }
+    threads.emplace(std::make_pair(static_cast<int>(c.self), kCommTid),
+                    true);
+  }
+  if (pids.empty()) pids.push_back(opts.pid);
+  std::sort(pids.begin(), pids.end());
+  for (int pid : pids) {
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << opts.pid
-       << ",\"tid\":" << t << ",\"args\":{\"name\":\""
-       << (t == 0 ? "producer/worker 0" : "worker " + std::to_string(t))
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    if (pids.size() == 1) {
+      json_escape(os, opts.process_name);
+    } else {
+      json_escape(os, ("rank " + std::to_string(pid)).c_str());
+    }
+    os << "}}";
+  }
+  for (const auto& [key, is_comm] : threads) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+       << (is_comm ? std::string("comm")
+                   : (key.second == 0
+                          ? "producer/worker 0"
+                          : "worker " + std::to_string(key.second)))
        << "\"}}";
   }
 
@@ -218,7 +280,7 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
     sep();
     os << "{\"name\":";
     json_escape(os, r.label[0] != '\0' ? r.label : "task");
-    os << ",\"cat\":\"task\",\"ph\":\"X\",\"pid\":" << opts.pid
+    os << ",\"cat\":\"task\",\"ph\":\"X\",\"pid\":" << (opts.pid + r.rank)
        << ",\"tid\":" << r.thread << ",\"ts\":";
     emit_us(os, r.t_start, t0);
     os << ",\"dur\":";
@@ -259,6 +321,41 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
        << s << "}}";
   }
 
+  // Communication slices: one "X" per completed operation, on each rank's
+  // dedicated comm track. All fields ride along in args so a parsed-back
+  // trace is lossless.
+  for (const CommRecord& c : comms) {
+    sep();
+    char name[64];
+    switch (c.kind) {
+      case CommRecord::Kind::Send:
+        std::snprintf(name, sizeof name, "send to %d tag %d", c.peer,
+                      c.tag);
+        break;
+      case CommRecord::Kind::Recv:
+        std::snprintf(name, sizeof name, "recv from %d tag %d", c.peer,
+                      c.tag);
+        break;
+      case CommRecord::Kind::Collective:
+        std::snprintf(name, sizeof name, "collective slot %d", c.tag);
+        break;
+    }
+    os << "{\"name\":";
+    json_escape(os, name);
+    os << ",\"cat\":\"comm\",\"ph\":\"X\",\"pid\":" << c.self
+       << ",\"tid\":" << kCommTid << ",\"ts\":";
+    emit_us(os, c.t_post, t0);
+    os << ",\"dur\":";
+    emit_us(os, c.t_complete, c.t_post);
+    os << ",\"args\":{\"kind\":\"" << comm_kind_code(c.kind)
+       << "\",\"self\":" << c.self << ",\"peer\":" << c.peer
+       << ",\"tag\":" << c.tag << ",\"seq\":" << c.seq
+       << ",\"bytes\":" << c.bytes << ",\"retransmits\":" << c.retransmits
+       << ",\"task\":" << c.task_id << "}}";
+  }
+
+  std::uint64_t flow_id = 0;
+
   // Flow arrows along dependence edges: an "s" event at the predecessor's
   // end, an "f" (bind-enclosing) event at the successor's start. Edges
   // whose endpoints were not traced (internal redirect nodes, records
@@ -267,7 +364,6 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
     std::unordered_map<std::uint64_t, const TaskRecord*> by_id;
     by_id.reserve(records.size());
     for (const TaskRecord& r : records) by_id.emplace(r.task_id, &r);
-    std::uint64_t flow_id = 0;
     for (const TraceEdge& e : edges) {
       auto pi = by_id.find(e.pred);
       auto si = by_id.find(e.succ);
@@ -275,40 +371,79 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
       ++flow_id;
       sep();
       os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":"
-         << flow_id << ",\"pid\":" << opts.pid
+         << flow_id << ",\"pid\":" << (opts.pid + pi->second->rank)
          << ",\"tid\":" << pi->second->thread << ",\"ts\":";
       emit_us(os, pi->second->t_end, t0);
       os << ",\"args\":{\"pred\":" << e.pred << ",\"succ\":" << e.succ
          << "}}";
       sep();
       os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\","
-         << "\"id\":" << flow_id << ",\"pid\":" << opts.pid
+         << "\"id\":" << flow_id << ",\"pid\":"
+         << (opts.pid + si->second->rank)
          << ",\"tid\":" << si->second->thread << ",\"ts\":";
       emit_us(os, si->second->t_start, t0);
       os << "}";
     }
   }
 
-  // Counter track: number of concurrently-running task bodies, sampled at
-  // every start/end transition (the parallelism profile, live in the UI).
+  // Message flow arrows: matched send/recv pairs — same (src, dst, tag,
+  // seq), seq 0 means the universe was not assigning stream sequence
+  // numbers — draw as arrows from the send's post on the source rank to
+  // the receive's completion on the destination rank. The flow id space is
+  // shared with the dependence arrows so ids never collide.
+  if (opts.flows && !comms.empty()) {
+    std::map<MsgKey, std::pair<const CommRecord*, const CommRecord*>>
+        paired;
+    for (const CommRecord& c : comms) {
+      if (c.seq == 0) continue;
+      if (c.kind == CommRecord::Kind::Send) {
+        paired[msg_key(c)].first = &c;
+      } else if (c.kind == CommRecord::Kind::Recv) {
+        paired[msg_key(c)].second = &c;
+      }
+    }
+    for (const auto& [key, pair] : paired) {
+      if (pair.first == nullptr || pair.second == nullptr) continue;
+      ++flow_id;
+      sep();
+      os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":"
+         << flow_id << ",\"pid\":" << pair.first->self
+         << ",\"tid\":" << kCommTid << ",\"ts\":";
+      emit_us(os, pair.first->t_post, t0);
+      os << ",\"args\":{\"src\":" << key.src << ",\"dst\":" << key.dst
+         << ",\"tag\":" << key.tag << ",\"seq\":" << key.seq << "}}";
+      sep();
+      os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\","
+         << "\"id\":" << flow_id << ",\"pid\":" << pair.second->self
+         << ",\"tid\":" << kCommTid << ",\"ts\":";
+      emit_us(os, pair.second->t_complete, t0);
+      os << "}";
+    }
+  }
+
+  // Counter track: number of concurrently-running task bodies per rank,
+  // sampled at every start/end transition (the parallelism profile, live
+  // in the UI).
   if (opts.counter_track && !records.empty()) {
-    std::vector<std::pair<std::uint64_t, int>> ev;
-    ev.reserve(records.size() * 2);
+    std::map<int, std::vector<std::pair<std::uint64_t, int>>> by_pid;
     for (const TaskRecord& r : records) {
+      auto& ev = by_pid[opts.pid + r.rank];
       ev.emplace_back(r.t_start, +1);
       ev.emplace_back(r.t_end, -1);
     }
-    std::sort(ev.begin(), ev.end());
-    int running = 0;
-    for (std::size_t i = 0; i < ev.size(); ++i) {
-      running += ev[i].second;
-      // Collapse simultaneous transitions into one sample.
-      if (i + 1 < ev.size() && ev[i + 1].first == ev[i].first) continue;
-      sep();
-      os << "{\"name\":\"running tasks\",\"ph\":\"C\",\"pid\":" << opts.pid
-         << ",\"ts\":";
-      emit_us(os, ev[i].first, t0);
-      os << ",\"args\":{\"running\":" << running << "}}";
+    for (auto& [pid, ev] : by_pid) {
+      std::sort(ev.begin(), ev.end());
+      int running = 0;
+      for (std::size_t i = 0; i < ev.size(); ++i) {
+        running += ev[i].second;
+        // Collapse simultaneous transitions into one sample.
+        if (i + 1 < ev.size() && ev[i + 1].first == ev[i].first) continue;
+        sep();
+        os << "{\"name\":\"running tasks\",\"ph\":\"C\",\"pid\":" << pid
+           << ",\"ts\":";
+        emit_us(os, ev[i].first, t0);
+        os << ",\"args\":{\"running\":" << running << "}}";
+      }
     }
   }
 
@@ -322,13 +457,20 @@ void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
 void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records,
                      std::span<const AccessRecord> accesses,
                      std::span<const std::uint64_t> barriers,
-                     std::span<const std::uint64_t> scope_clears) {
+                     std::span<const std::uint64_t> scope_clears,
+                     std::span<const CommRecord> comms) {
   os << "task_id\tthread\titeration\tlabel\tt_create_ns\tt_ready_ns\t"
-        "t_start_ns\tt_end_ns\taccesses\n";
-  // Cutoffs as comment lines so spreadsheet consumers of the plain rows
-  // keep working; parse_trace_tsv picks them back up.
+        "t_start_ns\tt_end_ns\taccesses\trank\n";
+  // Cutoffs and comm records as comment lines so spreadsheet consumers of
+  // the plain rows keep working; parse_trace_tsv picks them back up.
   for (std::uint64_t b : barriers) os << "#barrier\t" << b << '\n';
   for (std::uint64_t s : scope_clears) os << "#scope\t" << s << '\n';
+  for (const CommRecord& c : comms) {
+    os << "#comm\t" << comm_kind_code(c.kind) << '\t' << c.self << '\t'
+       << c.peer << '\t' << c.tag << '\t' << c.seq << '\t' << c.bytes
+       << '\t' << c.t_post << '\t' << c.t_complete << '\t' << c.retransmits
+       << '\t' << c.task_id << '\n';
+  }
   const auto access_runs = group_accesses(accesses);
   std::unordered_set<std::uint64_t> clause_emitted;
   for (const TaskRecord& r : records) {
@@ -339,7 +481,7 @@ void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records,
         it != access_runs.end() && clause_emitted.insert(r.task_id).second) {
       os << encode_accesses(accesses, it->second.first, it->second.second);
     }
-    os << '\n';
+    os << '\t' << r.rank << '\n';
   }
 }
 
@@ -571,15 +713,60 @@ ParsedTrace parse_perfetto(std::istream& is) {
     TDG_REQUIRE(ph != nullptr, "trace event lacks a ph field");
     if (ph->str() == "X") {
       const JsonValue* args = ev.get("args");
-      TaskRecord r;
+      const JsonValue* cat = ev.get("cat");
       const double ts = ev.get("ts") != nullptr ? ev.get("ts")->number() : 0;
       const double dur =
           ev.get("dur") != nullptr ? ev.get("dur")->number() : 0;
+      if (cat != nullptr && cat->str() == "comm") {
+        CommRecord c;
+        c.t_post = us_to_ns(ts);
+        c.t_complete = us_to_ns(ts + dur);
+        c.self = ev.get("pid") != nullptr
+                     ? static_cast<std::int32_t>(ev.get("pid")->number())
+                     : 0;
+        if (args != nullptr && args->is_object()) {
+          if (const JsonValue* k = args->get("kind"); k != nullptr) {
+            TDG_REQUIRE(comm_kind_from_code(k->str(), c.kind),
+                        "unknown comm kind code in trace");
+          }
+          if (const JsonValue* s = args->get("self"); s != nullptr) {
+            c.self = static_cast<std::int32_t>(s->number());
+          }
+          if (const JsonValue* p = args->get("peer"); p != nullptr) {
+            c.peer = static_cast<std::int32_t>(p->number());
+          }
+          if (const JsonValue* t = args->get("tag"); t != nullptr) {
+            c.tag = static_cast<std::int32_t>(t->number());
+          }
+          if (const JsonValue* q = args->get("seq"); q != nullptr) {
+            c.seq = static_cast<std::uint64_t>(q->number());
+          }
+          if (const JsonValue* b = args->get("bytes"); b != nullptr) {
+            c.bytes = static_cast<std::uint64_t>(b->number());
+          }
+          if (const JsonValue* rx = args->get("retransmits");
+              rx != nullptr) {
+            c.retransmits = static_cast<std::uint32_t>(rx->number());
+          }
+          if (const JsonValue* tk = args->get("task"); tk != nullptr) {
+            c.task_id = static_cast<std::uint64_t>(tk->number());
+          }
+        }
+        out.comms.push_back(c);
+        continue;
+      }
+      TaskRecord r;
       r.t_start = us_to_ns(ts);
       r.t_end = us_to_ns(ts + dur);
       r.thread = ev.get("tid") != nullptr
                      ? static_cast<std::uint32_t>(ev.get("tid")->number())
                      : 0;
+      // The writer lands each task on pid = base + rank with base 0 in
+      // practice (the runtime passes its rank as the base for a
+      // single-rank file; merge keeps base 0), so pid is the rank.
+      r.rank = ev.get("pid") != nullptr
+                   ? static_cast<std::int32_t>(ev.get("pid")->number())
+                   : 0;
       if (args != nullptr && args->is_object()) {
         if (const JsonValue* id = args->get("id"); id != nullptr) {
           r.task_id = static_cast<std::uint64_t>(id->number());
@@ -610,7 +797,9 @@ ParsedTrace parse_perfetto(std::istream& is) {
       }
       out.records.push_back(r);
     } else if (ph->str() == "s") {
-      // Flow start events carry the edge's task ids in args.
+      // Flow start events carry the edge's task ids in args. Message
+      // flows ("msg" category) carry src/dst/tag/seq instead — those are
+      // derivable from the comm records, so they are not re-parsed.
       const JsonValue* args = ev.get("args");
       if (args != nullptr && args->get("pred") != nullptr &&
           args->get("succ") != nullptr) {
@@ -645,6 +834,10 @@ ParsedTrace parse_perfetto(std::istream& is) {
                    });
   std::sort(out.barriers.begin(), out.barriers.end());
   std::sort(out.scope_clears.begin(), out.scope_clears.end());
+  std::stable_sort(out.comms.begin(), out.comms.end(),
+                   [](const CommRecord& a, const CommRecord& b) {
+                     return a.t_post < b.t_post;
+                   });
   return out;
 }
 
@@ -658,15 +851,41 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
-      // Cutoff comment lines: "#barrier\t<id>" / "#scope\t<id>". Other
-      // comments are ignored for forward compatibility.
-      const std::size_t tab = line.find('\t');
-      if (tab != std::string::npos) {
-        const std::string_view kind(line.data(), tab);
-        const std::uint64_t id =
-            std::strtoull(line.c_str() + tab + 1, nullptr, 10);
-        if (kind == "#barrier") out.barriers.push_back(id);
-        else if (kind == "#scope") out.scope_clears.push_back(id);
+      // Cutoff comment lines: "#barrier\t<id>" / "#scope\t<id>", and comm
+      // records as "#comm\t<kind>\t<self>\t<peer>\t<tag>\t<seq>\t<bytes>
+      // \t<t_post>\t<t_complete>\t<retransmits>\t<task>". Other comments
+      // are ignored for forward compatibility.
+      std::vector<std::string> ccols;
+      std::size_t cstart = 0;
+      while (true) {
+        const std::size_t tab = line.find('\t', cstart);
+        ccols.push_back(line.substr(cstart, tab - cstart));
+        if (tab == std::string::npos) break;
+        cstart = tab + 1;
+      }
+      if (ccols.size() >= 2 && ccols[0] == "#barrier") {
+        out.barriers.push_back(std::strtoull(ccols[1].c_str(), nullptr, 10));
+      } else if (ccols.size() >= 2 && ccols[0] == "#scope") {
+        out.scope_clears.push_back(
+            std::strtoull(ccols[1].c_str(), nullptr, 10));
+      } else if (ccols.size() == 11 && ccols[0] == "#comm") {
+        CommRecord c;
+        TDG_REQUIRE(comm_kind_from_code(ccols[1], c.kind),
+                    "unknown comm kind code in TSV trace");
+        c.self = static_cast<std::int32_t>(
+            std::strtol(ccols[2].c_str(), nullptr, 10));
+        c.peer = static_cast<std::int32_t>(
+            std::strtol(ccols[3].c_str(), nullptr, 10));
+        c.tag = static_cast<std::int32_t>(
+            std::strtol(ccols[4].c_str(), nullptr, 10));
+        c.seq = std::strtoull(ccols[5].c_str(), nullptr, 10);
+        c.bytes = std::strtoull(ccols[6].c_str(), nullptr, 10);
+        c.t_post = std::strtoull(ccols[7].c_str(), nullptr, 10);
+        c.t_complete = std::strtoull(ccols[8].c_str(), nullptr, 10);
+        c.retransmits = static_cast<std::uint32_t>(
+            std::strtoul(ccols[9].c_str(), nullptr, 10));
+        c.task_id = std::strtoull(ccols[10].c_str(), nullptr, 10);
+        out.comms.push_back(c);
       }
       continue;
     }
@@ -679,8 +898,8 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
       start = tab + 1;
     }
     // 8 columns is the pre-verification format; 9 adds the (possibly
-    // empty) encoded accesses column.
-    TDG_REQUIRE(cols.size() == 8 || cols.size() == 9, "bad TSV trace row");
+    // empty) encoded accesses column; 10 adds the rank column.
+    TDG_REQUIRE(cols.size() >= 8 && cols.size() <= 10, "bad TSV trace row");
     TaskRecord r;
     r.task_id = std::strtoull(cols[0].c_str(), nullptr, 10);
     r.thread = static_cast<std::uint32_t>(
@@ -692,8 +911,12 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
     r.t_ready = std::strtoull(cols[5].c_str(), nullptr, 10);
     r.t_start = std::strtoull(cols[6].c_str(), nullptr, 10);
     r.t_end = std::strtoull(cols[7].c_str(), nullptr, 10);
-    if (cols.size() == 9 && !cols[8].empty()) {
+    if (cols.size() >= 9 && !cols[8].empty()) {
       decode_accesses(out, r.task_id, r.label, cols[8]);
+    }
+    if (cols.size() == 10) {
+      r.rank = static_cast<std::int32_t>(
+          std::strtol(cols[9].c_str(), nullptr, 10));
     }
     out.records.push_back(r);
   }
@@ -707,6 +930,10 @@ ParsedTrace parse_trace_tsv(std::istream& is) {
                    });
   std::sort(out.barriers.begin(), out.barriers.end());
   std::sort(out.scope_clears.begin(), out.scope_clears.end());
+  std::stable_sort(out.comms.begin(), out.comms.end(),
+                   [](const CommRecord& a, const CommRecord& b) {
+                     return a.t_post < b.t_post;
+                   });
   return out;
 }
 

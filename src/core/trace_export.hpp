@@ -39,7 +39,11 @@ struct TraceEnvConfig {
 TraceEnvConfig trace_env_config();
 
 struct PerfettoOptions {
-  int pid = 0;                        ///< process id track (use the rank)
+  /// Base process-id track. Each task slice lands on pid + record.rank and
+  /// each comm slice on its recording rank, so a single-rank runtime sets
+  /// pid to its rank (records carry rank 0) while the merged multi-rank
+  /// timeline keeps pid 0 and per-record ranks.
+  int pid = 0;
   const char* process_name = "tdg";
   bool flows = true;          ///< emit flow arrows along dependence edges
   bool counter_track = true;  ///< emit the running-task counter track
@@ -54,22 +58,30 @@ struct PerfettoOptions {
 /// ("in:<hex>;out:<hex>;..."), and taskwait barriers / dependency-scope
 /// clears become instant events carrying the cutoff task id. A trace
 /// written with them can be re-verified offline (`tdg-trace verify`).
+///
+/// Comm records become "X" slices (cat "comm") on a dedicated per-rank
+/// track; matched send/recv pairs — same (src, dst, tag, seq) — add
+/// "s"/"f" flow pairs (cat "msg"), the arrows between rank tracks in the
+/// Perfetto UI.
 void write_perfetto(std::ostream& os, std::span<const TaskRecord> records,
                     std::span<const TraceEdge> edges = {},
                     std::span<const AccessRecord> accesses = {},
                     std::span<const std::uint64_t> barriers = {},
                     std::span<const std::uint64_t> scope_clears = {},
+                    std::span<const CommRecord> comms = {},
                     const PerfettoOptions& opts = {});
 
 /// Write the extended TSV: one header line, one row per record with
-/// task_id/thread/iteration/label, all four absolute ns timestamps, and
-/// the task's encoded depend clause in a trailing `accesses` column.
-/// Barrier / scope-clear cutoffs are `#barrier <id>` / `#scope <id>`
-/// comment lines (tab-separated) after the header.
+/// task_id/thread/iteration/label, all four absolute ns timestamps, the
+/// task's encoded depend clause in an `accesses` column, and the record's
+/// rank. Barrier / scope-clear cutoffs are `#barrier <id>` / `#scope <id>`
+/// comment lines (tab-separated) after the header; comm records are
+/// `#comm` lines with all fields in absolute ns (lossless round-trip).
 void write_trace_tsv(std::ostream& os, std::span<const TaskRecord> records,
                      std::span<const AccessRecord> accesses = {},
                      std::span<const std::uint64_t> barriers = {},
-                     std::span<const std::uint64_t> scope_clears = {});
+                     std::span<const std::uint64_t> scope_clears = {},
+                     std::span<const CommRecord> comms = {});
 
 /// A parsed trace. Owns the label storage the records point into (the
 /// pool is a deque so grown entries never relocate).
@@ -81,6 +93,7 @@ struct ParsedTrace {
   std::vector<AccessRecord> accesses;
   std::vector<std::uint64_t> barriers;      ///< taskwait cutoffs, sorted
   std::vector<std::uint64_t> scope_clears;  ///< scope-clear cutoffs, sorted
+  std::vector<CommRecord> comms;            ///< sorted by t_post
   std::deque<std::string> label_pool;
 };
 

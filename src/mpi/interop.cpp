@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
 
 #include "core/common.hpp"
 #include "core/error.hpp"
+#include "core/profiler.hpp"
 
 namespace tdg::mpi {
 
@@ -29,6 +31,15 @@ RequestPoller::RequestPoller(Runtime& rt, Comm* comm)
     m_ranks_failed_ = m.gauge("universe.ranks_failed");
     diag_fault_base_ = comm_->fault_stats();
     diag_rel_base_ = comm_->reliable_stats();
+    // Trace records and Perfetto tracks are keyed by rank; stamp the
+    // profiler so TaskRecords carry it.
+    rt_->profiler().set_rank(comm_->rank());
+    telem_cfg_ = telemetry_env_config();
+    if (telem_cfg_.enabled) {
+      m_exec_tasks_ = m.counter("exec.tasks");
+      telem_ring_ = TelemetryHub::instance().attach(comm_->rank(),
+                                                    telem_cfg_.ring_capacity);
+    }
   }
 }
 
@@ -62,6 +73,7 @@ void RequestPoller::poll() {
   if (comm_ != nullptr) {
     comm_->poll();  // heartbeat + retransmissions + failure detection
     sync_comm_metrics();
+    maybe_sample_telemetry();
   }
   // Collect fulfilled events outside the lock: fulfill() may complete a
   // task, whose successors could re-enter complete_on_event. Failed
@@ -135,6 +147,58 @@ void RequestPoller::record_metrics(const Tracked& t) {
   if (t.span.collective) m.add(m_collectives_, 1, shard);
   m.add(m_bytes_, t.req.bytes(), shard);
   m.observe(m_wait_ns_, t.span.complete_ns - t.span.post_ns, shard);
+  // Comm event for the trace stream: the (src,dst,tag,seq) key lets the
+  // exporter pair this record with its remote counterpart as a flow arrow.
+  // record_comm itself is gated on trace_enabled(), and the profiler's
+  // spin lock is a leaf — safe under our mu_.
+  Profiler& prof = rt_->profiler();
+  if (prof.trace_enabled()) {
+    CommRecord c;
+    c.kind = t.req.is_recv()         ? CommRecord::Kind::Recv
+             : t.req.is_collective() ? CommRecord::Kind::Collective
+                                     : CommRecord::Kind::Send;
+    c.self = comm_ != nullptr ? comm_->rank() : 0;
+    c.peer = t.req.peer();
+    c.tag = t.req.tag();
+    c.seq = t.req.trace_seq();
+    c.bytes = t.req.bytes();
+    c.t_post = t.span.post_ns;
+    c.t_complete = t.span.complete_ns;
+    c.retransmits =
+        comm_ != nullptr
+            ? static_cast<std::uint32_t>(comm_->reliable_stats().retransmits)
+            : 0;
+    c.task_id = t.ev != nullptr ? t.ev->task_id() : 0;
+    prof.record_comm(c);
+  }
+}
+
+void RequestPoller::maybe_sample_telemetry() {
+  if (!telem_ring_) return;
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = telem_last_ns_.load(std::memory_order_relaxed);
+  if (now - last < telem_cfg_.period_ns) return;
+  // One sampler wins the period; losers skip rather than queue up.
+  if (!telem_last_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  const CommStats cs = comm_->stats();
+  const FaultStats f = comm_->fault_stats();
+  const ReliableStats rl = comm_->reliable_stats();
+  TelemetrySample s;
+  s.t_ns = now;
+  s.tasks_executed = rt_->metrics().read(m_exec_tasks_);
+  s.sends = cs.sends;
+  s.recvs = cs.recvs;
+  s.bytes_sent = cs.bytes_sent;
+  s.allreduces = cs.allreduces;
+  s.retransmits = rl.retransmits;
+  s.dup_suppressed = rl.dup_suppressed;
+  s.giveups = rl.giveups;
+  s.drops_injected = f.drops;
+  s.ranks_failed = comm_->ranks_failed();
+  telem_ring_->push(s);
 }
 
 void RequestPoller::sync_comm_metrics() {
@@ -210,6 +274,34 @@ void RequestPoller::diagnostic(std::string& out) const {
                                       diag_rel_base_.dup_suppressed),
       static_cast<unsigned long long>(rl.giveups - diag_rel_base_.giveups));
   out += line;
+  if (telem_ring_) {
+    // The last few samples show the counter trajectory into the hang.
+    const std::vector<TelemetrySample> samples = telem_ring_->snapshot();
+    const std::size_t n = samples.size();
+    for (std::size_t i = n > 3 ? n - 3 : 0; i < n; ++i) {
+      const TelemetrySample& s = samples[i];
+      char tl[160];
+      std::snprintf(tl, sizeof tl,
+                    "\n  telemetry t=%llu: tasks=%llu sends=%llu "
+                    "recvs=%llu retransmits=%llu ranks_failed=%lld",
+                    static_cast<unsigned long long>(s.t_ns),
+                    static_cast<unsigned long long>(s.tasks_executed),
+                    static_cast<unsigned long long>(s.sends),
+                    static_cast<unsigned long long>(s.recvs),
+                    static_cast<unsigned long long>(s.retransmits),
+                    static_cast<long long>(s.ranks_failed));
+      out += tl;
+    }
+    if (telem_cfg_.dump) {
+      // Watchdog fired: persist the full time-series now, in case the
+      // process is about to be killed and never reaches Universe exit.
+      std::ofstream os(telem_cfg_.path);
+      if (os) {
+        TelemetryHub::write_json(os, TelemetryHub::instance().collect());
+        out += "\n  telemetry time-series dumped to " + telem_cfg_.path;
+      }
+    }
+  }
 }
 
 }  // namespace tdg::mpi

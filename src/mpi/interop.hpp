@@ -11,13 +11,16 @@
 // tdg::RankFailedError.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "core/runtime.hpp"
+#include "core/telemetry.hpp"
 #include "mpi/mpi.hpp"
 
 namespace tdg::mpi {
@@ -109,8 +112,11 @@ class RequestPoller {
 
   RequestPoller(Runtime& rt, Comm* comm);
 
-  /// Record a completed span into the runtime metrics registry.
+  /// Record a completed span into the runtime metrics registry and, when
+  /// tracing is on, a CommRecord into the profiler's comm ring.
   void record_metrics(const Tracked& t);
+  /// Push a telemetry sample if the sampling period elapsed (poll-driven).
+  void maybe_sample_telemetry();
   /// Resolve a failed request: reroute, complete locally, or poison.
   void handle_failed(Tracked t);
   /// Mirror the universe's fault/reliability counters into rt metrics
@@ -124,6 +130,13 @@ class RequestPoller {
   MetricsRegistry::Id m_requests_, m_collectives_, m_bytes_, m_wait_ns_;
   MetricsRegistry::Id m_drops_, m_kills_, m_retransmits_, m_dup_sup_,
       m_reroutes_, m_ranks_failed_;
+  // Live telemetry (comm-aware pollers with TDG_TELEMETRY on): a periodic
+  // sample of this rank's counters, pushed from the polling hook into a
+  // ring registered with the process-wide TelemetryHub.
+  TelemetryConfig telem_cfg_;
+  std::shared_ptr<TelemetryRing> telem_ring_;
+  std::atomic<std::uint64_t> telem_last_ns_{0};
+  MetricsRegistry::Id m_exec_tasks_;
   mutable std::mutex mu_;
   std::vector<Tracked> pending_;
   std::vector<RequestSpan> done_;

@@ -9,9 +9,12 @@
 #include <thread>
 #include <unordered_map>
 
+#include <fstream>
+
 #include "core/common.hpp"
 #include "core/error.hpp"
 #include "core/metrics.hpp"
+#include "core/trace_export.hpp"
 
 namespace tdg::mpi {
 namespace detail {
@@ -128,8 +131,13 @@ struct RankState {
   std::atomic<std::uint64_t> send_count{0};
   std::atomic<std::uint64_t> fault_seq{0};
   std::atomic<std::uint64_t> last_scan_ns{0};
-  std::mutex mu;  // guards send_seq + retransmits
+  std::mutex mu;  // guards send_seq + trace seqs + retransmits
   std::unordered_map<std::uint64_t, std::uint64_t> send_seq;
+  /// Comm-trace stream counters (World::comm_trace): posts counted per
+  /// (peer, tag) independently on each side; non-overtaking delivery
+  /// makes the nth send and nth receive of a stream agree.
+  std::unordered_map<std::uint64_t, std::uint64_t> trace_send_seq;
+  std::unordered_map<std::uint64_t, std::uint64_t> trace_recv_seq;
   std::vector<RetransmitRec> retransmits;
 };
 
@@ -145,6 +153,9 @@ struct World {
   FaultPlan faults;
   bool faults_active = false;
   bool kills_configured = false;
+  /// Comm-event tracing: assign stream sequence numbers at post time
+  /// (Options::comm_trace, or automatic while TDG_TRACE is active).
+  bool comm_trace = false;
   /// Messages currently held past their send time; while non-zero, request
   /// polling drives Mailbox progress so due messages get delivered.
   std::atomic<int> delayed_count{0};
@@ -804,6 +815,14 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
   sreq->bytes = bytes;
   sreq->world = world_;
   sreq->progress_rank = dest;  // matching happens in the dest mailbox
+  if (w.comm_trace) {
+    // 1-based stream sequence for the distributed trace. Tasks on any
+    // worker thread may post sends, so the counter map shares the rank
+    // state's lock.
+    detail::RankState& self = w.rank_state(rank_);
+    std::lock_guard<std::mutex> g(self.mu);
+    sreq->trace_seq = ++self.trace_send_seq[detail::skey(dest, tag)];
+  }
 
   if (w.resilient && w.unreachable(dest)) {
     // Fire-and-forget to a dead rank: discarded, completes immediately
@@ -1023,6 +1042,11 @@ Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
   rreq->bytes = bytes;
   rreq->world = world_;
   rreq->progress_rank = rank_;  // matching happens in our own mailbox
+  if (w.comm_trace) {
+    detail::RankState& self = w.rank_state(rank_);
+    std::lock_guard<std::mutex> g(self.mu);
+    rreq->trace_seq = ++self.trace_recv_seq[detail::skey(src, tag)];
+  }
   Mailbox& mb = *w.mailboxes[static_cast<std::size_t>(rank_)];
   std::lock_guard<std::mutex> g(mb.mu);
   PostedRecv p{src, tag, bytes, buf, rreq};
@@ -1058,6 +1082,12 @@ Request Comm::iallreduce(const double* sendbuf, double* recvbuf,
   auto req = std::make_shared<ReqState>();
   req->kind = ReqKind::Collective;
   req->bytes = count * sizeof(double);
+  if (w.comm_trace) {
+    // Collectives match by per-rank call sequence already; reuse the slot
+    // id (1-based) as the trace identity and stash it in tag for display.
+    req->tag = static_cast<int>(slot_id);
+    req->trace_seq = slot_id + 1;
+  }
   std::lock_guard<std::mutex> g(w.coll_mu);
   detail::CollectiveSlot& slot = w.collectives[slot_id];
   if (slot.contributed == 0) {
@@ -1227,6 +1257,10 @@ void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
   world.kills_configured = !opts.faults.kill_rank_at_send_seq.empty();
   world.reliable = opts.reliable;
   world.hb = opts.heartbeat;
+  // Comm tracing follows the trace env so `TDG_TRACE=perfetto mpirun ...`
+  // just works; opts.comm_trace forces it on for tests.
+  world.comm_trace =
+      opts.comm_trace || trace_env_config().mode != TraceMode::Off;
   world.resilient = world.kills_configured || world.reliable.enabled ||
                     world.hb.enabled;
   world.rel_timeout_ns =
@@ -1283,6 +1317,17 @@ void Universe::run(int nranks, const std::function<void(Comm&)>& fn,
                    static_cast<unsigned long long>(s.bytes_sent),
                    static_cast<unsigned long long>(s.allreduces));
     }
+  }
+  // Drain unconditionally so successive universes in one process never
+  // inherit each other's telemetry series.
+  {
+    const TelemetryConfig tcfg = telemetry_env_config();
+    std::vector<RankTelemetry> telem = TelemetryHub::instance().drain();
+    if (tcfg.dump && !telem.empty()) {
+      std::ofstream os(tcfg.path);
+      if (os) TelemetryHub::write_json(os, telem);
+    }
+    if (report != nullptr) report->telemetry = std::move(telem);
   }
   if (report != nullptr) {
     Comm probe(world, 0);

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/telemetry.hpp"
+
 namespace tdg::mpi {
 
 /// Reduction operator for allreduce.
@@ -73,6 +75,13 @@ struct ReqState {
   int peer = -1;   ///< dest for sends, src for recvs
   int tag = -1;
   std::size_t bytes = 0;
+  /// 1-based per-(src, dst, tag) stream sequence assigned at post time
+  /// when the universe records comm traces (Options::comm_trace or an
+  /// active TDG_TRACE); 0 otherwise. Both sides of a stream count their
+  /// own posts, so non-overtaking delivery makes the nth send and the
+  /// nth receive share it — the (src, dst, tag, seq) message identity of
+  /// the distributed trace.
+  std::uint64_t trace_seq = 0;
   World* world = nullptr;
   int progress_rank = -1;  ///< mailbox to progress while polling (-1: none)
 };
@@ -102,6 +111,24 @@ class Request {
   /// Payload size of the operation (0 for an invalid request; element
   /// bytes for collectives).
   std::size_t bytes() const { return state_ ? state_->bytes : 0; }
+
+  // --- trace metadata (comm-event tracing; see Profiler::record_comm) ---
+  bool is_send() const {
+    return state_ && state_->kind == detail::ReqKind::Send;
+  }
+  bool is_recv() const {
+    return state_ && state_->kind == detail::ReqKind::Recv;
+  }
+  bool is_collective() const {
+    return state_ && state_->kind == detail::ReqKind::Collective;
+  }
+  /// Dest for sends, src for recvs, -1 for collectives / invalid.
+  int peer() const { return state_ ? state_->peer : -1; }
+  /// Message tag (the collective slot id for collectives).
+  int tag() const { return state_ ? state_->tag : -1; }
+  /// Stream sequence number (see detail::ReqState::trace_seq); 0 when the
+  /// universe is not recording comm traces.
+  std::uint64_t trace_seq() const { return state_ ? state_->trace_seq : 0; }
 
  private:
   friend class Comm;
@@ -366,6 +393,10 @@ class Universe {
     /// tests assert on survivors, not on the scheduled death. Exceptions
     /// from ranks that were *not* killed always rethrow.
     bool tolerate_killed_ranks = false;
+    /// Assign per-(src, dst, tag) stream sequence numbers to requests so
+    /// comm-event traces can match send/recv pairs across ranks. Also
+    /// switched on automatically while TDG_TRACE selects a trace format.
+    bool comm_trace = false;
   };
 
   /// Post-mortem universe state (filled by run() just before it returns
@@ -380,6 +411,10 @@ class Universe {
     int ranks_failed = 0;           ///< detector-confirmed deaths
     /// what() per rank of the exception that escaped it ("" = none).
     std::vector<std::string> rank_errors;
+    /// Per-rank telemetry time-series, drained from the hub at exit
+    /// (empty unless TDG_TELEMETRY enabled a sampler; see
+    /// core/telemetry.hpp).
+    std::vector<RankTelemetry> telemetry;
   };
 
   /// Spawn `nranks` threads, run `fn(comm)` on each, join. If rank

@@ -74,6 +74,66 @@ TEST(MetricsRegistryTest, HistogramCountSumBuckets) {
   EXPECT_NEAR(e->mean(), 1006.0 / 4.0, 1e-9);
 }
 
+TEST(MetricsRegistryTest, HistogramPercentilesFromLog2Buckets) {
+  MetricsRegistry reg(1);
+  const auto id = reg.histogram("test.pctl");
+  // 100 samples of 100 ns and 1 sample of 100000 ns: the tail lives in a
+  // far bucket, the bulk in [64, 128).
+  for (int i = 0; i < 100; ++i) reg.observe(id, 100);
+  reg.observe(id, 100000);
+  const MetricsSnapshot s = reg.snapshot();
+  const auto* e = s.find("test.pctl");
+  ASSERT_NE(e, nullptr);
+  const double p50 = e->percentile(0.50);
+  const double p95 = e->percentile(0.95);
+  const double p99 = e->percentile(0.99);
+  // Log2 buckets promise the right bucket: within [64, 128) for the bulk.
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 128.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p100 lands in the tail sample's bucket [65536, 131072).
+  const double p100 = e->percentile(1.0);
+  EXPECT_GE(p100, 65536.0);
+  EXPECT_LE(p100, 131072.0);
+  // All-zero histogram: percentiles are exactly zero (bucket 0).
+  const auto zid = reg.histogram("test.pctl_zero");
+  reg.observe(zid, 0);
+  reg.observe(zid, 0);
+  const MetricsSnapshot sz = reg.snapshot();
+  EXPECT_EQ(sz.find("test.pctl_zero")->percentile(0.99), 0.0);
+  // Empty histogram is defined and zero.
+  const auto eid = reg.histogram("test.pctl_empty");
+  (void)eid;
+  EXPECT_EQ(reg.snapshot().find("test.pctl_empty")->percentile(0.5), 0.0);
+}
+
+TEST(MetricsSnapshotTest, WritersEmitPercentiles) {
+  MetricsRegistry reg(1);
+  const auto id = reg.histogram("lat.ns");
+  for (int i = 0; i < 10; ++i) reg.observe(id, 1000);
+  const MetricsSnapshot s = reg.snapshot();
+  std::ostringstream text, json;
+  s.write_text(text);
+  s.write_json(json);
+  EXPECT_NE(text.str().find("p50="), std::string::npos);
+  EXPECT_NE(text.str().find("p95="), std::string::npos);
+  EXPECT_NE(text.str().find("p99="), std::string::npos);
+  EXPECT_NE(json.str().find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ReadSumsOneSlotAcrossShards) {
+  MetricsRegistry reg(4);
+  const auto id = reg.counter("read.me");
+  reg.add(id, 5, 0);
+  reg.add(id, 7, 3);
+  EXPECT_EQ(reg.read(id), 12u);
+  EXPECT_EQ(reg.read(MetricsRegistry::Id{}), 0u);
+}
+
 TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
   MetricsRegistry reg(1);
   const auto a = reg.counter("shared.name");

@@ -165,6 +165,122 @@ TEST(TraceEnv, ModeParsing) {
   EXPECT_EQ(trace_env_config().mode, TraceMode::Off);
 }
 
+std::vector<CommRecord> sample_comms() {
+  std::vector<CommRecord> comms;
+  CommRecord s;
+  s.kind = CommRecord::Kind::Send;
+  s.self = 0;
+  s.peer = 1;
+  s.tag = 7;
+  s.seq = 1;
+  s.bytes = 64;
+  s.t_post = 1200;
+  s.t_complete = 1300;
+  s.retransmits = 2;
+  s.task_id = 1;
+  comms.push_back(s);
+  CommRecord r;
+  r.kind = CommRecord::Kind::Recv;
+  r.self = 1;
+  r.peer = 0;
+  r.tag = 7;
+  r.seq = 1;
+  r.bytes = 64;
+  r.t_post = 1100;
+  r.t_complete = 1500;
+  r.task_id = 2;
+  comms.push_back(r);
+  CommRecord c;
+  c.kind = CommRecord::Kind::Collective;
+  c.self = 0;
+  c.tag = 0;
+  c.seq = 1;
+  c.bytes = 8;
+  c.t_post = 2000;
+  c.t_complete = 2600;
+  comms.push_back(c);
+  return comms;
+}
+
+TEST(PerfettoExport, CommRecordsRoundTripAndDrawMessageFlows) {
+  const auto rec = sample_records();
+  const auto comms = sample_comms();
+  std::ostringstream os;
+  write_perfetto(os, rec, {}, {}, {}, {}, comms);
+  const std::string json = os.str();
+  // The matched pair becomes a "msg" flow between the two comm tracks.
+  EXPECT_NE(json.find("\"cat\":\"msg\""), std::string::npos);
+  EXPECT_NE(json.find("send to 1 tag 7"), std::string::npos);
+  EXPECT_NE(json.find("recv from 0 tag 7"), std::string::npos);
+  EXPECT_NE(json.find("collective slot 0"), std::string::npos);
+
+  std::istringstream is(json);
+  const ParsedTrace back = parse_perfetto(is);
+  ASSERT_EQ(back.comms.size(), comms.size());
+  // Parsed comms are sorted by t_post: recv (1100) < send (1200) < coll.
+  const CommRecord& r0 = back.comms[0];
+  const CommRecord& s0 = back.comms[1];
+  const CommRecord& c0 = back.comms[2];
+  EXPECT_EQ(r0.kind, CommRecord::Kind::Recv);
+  EXPECT_EQ(s0.kind, CommRecord::Kind::Send);
+  EXPECT_EQ(c0.kind, CommRecord::Kind::Collective);
+  EXPECT_EQ(s0.self, 0);
+  EXPECT_EQ(s0.peer, 1);
+  EXPECT_EQ(s0.tag, 7);
+  EXPECT_EQ(s0.seq, 1u);
+  EXPECT_EQ(s0.bytes, 64u);
+  EXPECT_EQ(s0.retransmits, 2u);
+  EXPECT_EQ(s0.task_id, 1u);
+  // Timestamps are rebased to the earliest event; spans are preserved.
+  EXPECT_EQ(s0.t_complete - s0.t_post, 100u);
+  EXPECT_EQ(r0.t_complete - r0.t_post, 400u);
+  EXPECT_EQ(c0.t_complete - c0.t_post, 600u);
+}
+
+TEST(PerfettoExport, TaskRankRoundTripsThroughPid) {
+  static const char* kLabel = "remote";
+  std::vector<TaskRecord> rec = sample_records();
+  rec[1].rank = 3;
+  rec[1].label = kLabel;
+  std::ostringstream os;
+  write_perfetto(os, rec, {});
+  std::istringstream is(os.str());
+  const ParsedTrace back = parse_perfetto(is);
+  ASSERT_EQ(back.records.size(), rec.size());
+  for (const TaskRecord& r : back.records) {
+    EXPECT_EQ(r.rank, std::string(r.label) == "remote" ? 3 : 0);
+  }
+}
+
+TEST(TsvExport, CommRecordsAndRankRoundTripExactly) {
+  std::vector<TaskRecord> rec = sample_records();
+  rec[2].rank = 5;
+  const auto comms = sample_comms();
+  std::ostringstream os;
+  write_trace_tsv(os, rec, {}, {}, {}, comms);
+
+  std::istringstream is(os.str());
+  const ParsedTrace back = parse_trace_tsv(is);
+  ASSERT_EQ(back.records.size(), rec.size());
+  EXPECT_EQ(back.records[2].rank, 5);
+  ASSERT_EQ(back.comms.size(), comms.size());
+  // TSV keeps absolute nanoseconds; everything must match bit-for-bit.
+  const CommRecord& r0 = back.comms[0];  // sorted by t_post: the recv
+  EXPECT_EQ(r0.kind, CommRecord::Kind::Recv);
+  EXPECT_EQ(r0.self, 1);
+  EXPECT_EQ(r0.peer, 0);
+  EXPECT_EQ(r0.t_post, 1100u);
+  EXPECT_EQ(r0.t_complete, 1500u);
+  const CommRecord& s0 = back.comms[1];
+  EXPECT_EQ(s0.kind, CommRecord::Kind::Send);
+  EXPECT_EQ(s0.seq, 1u);
+  EXPECT_EQ(s0.bytes, 64u);
+  EXPECT_EQ(s0.retransmits, 2u);
+  EXPECT_EQ(s0.task_id, 1u);
+  EXPECT_EQ(s0.t_post, 1200u);
+  EXPECT_EQ(s0.t_complete, 1300u);
+}
+
 TEST(RuntimeTrace, ProfilerStreamExportsAndParsesBack) {
   // End-to-end: run a small traced graph, export the profiler's stream,
   // parse it back and check the flow edges survived.

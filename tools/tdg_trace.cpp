@@ -3,6 +3,12 @@
 //   tdg-trace summary  <trace>          overall stats + parallelism profile
 //   tdg-trace critpath <trace> [-n K]   critical path (top K nodes shown)
 //   tdg-trace export   <trace> [-o OUT] [--format perfetto|tsv]
+//   tdg-trace merge    <trace...> [-o OUT] [--format perfetto|tsv]
+//                                       stitch per-rank traces into one
+//                                       global timeline (clock offsets
+//                                       estimated from matched messages)
+//   tdg-trace timeline <trace>          per-rank overlap/utilization rows
+//                                       + top comm-blocked task labels
 //   tdg-trace verify   <trace> [-n K]   TDG soundness check (races, cycles)
 //   tdg-trace lint     <trace> [--strict]   depend-clause lint
 //
@@ -25,9 +31,12 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "core/analysis.hpp"
 #include "core/error.hpp"
 #include "core/trace_export.hpp"
+#include "core/trace_merge.hpp"
 #include "core/verify.hpp"
 
 namespace {
@@ -49,6 +58,20 @@ int usage(const char* argv0) {
                "(default perfetto to\n"
                "                                   stdout); converts "
                "between formats\n"
+               "  merge    <trace...> [-o OUT] [--format perfetto|tsv] "
+               "[--no-offsets]\n"
+               "                                   stitch per-rank traces "
+               "into one global\n"
+               "                                   timeline: estimate clock "
+               "offsets from\n"
+               "                                   matched send/recv pairs, "
+               "rebase, derive\n"
+               "                                   cross-rank message edges\n"
+               "  timeline <trace>                 per-rank overlap / "
+               "utilization /\n"
+               "                                   comm-wait rows and top "
+               "comm-blocked\n"
+               "                                   task labels\n"
                "  verify   <trace> [-n K]          prove every conflicting "
                "access pair is\n"
                "                                   ordered by the recorded "
@@ -89,11 +112,44 @@ std::string fmt_seconds(double s) {
   return buf;
 }
 
+/// Comm-stream digest shared by summary and timeline: op counts, matched
+/// cross-rank messages, and total recv/collective wait.
+void print_comm_stats(const tdg::ParsedTrace& trace) {
+  if (trace.comms.empty()) return;
+  std::size_t sends = 0, recvs = 0, colls = 0;
+  std::uint64_t bytes = 0;
+  double wait_seconds = 0;
+  for (const tdg::CommRecord& c : trace.comms) {
+    switch (c.kind) {
+      case tdg::CommRecord::Kind::Send: ++sends; break;
+      case tdg::CommRecord::Kind::Recv: ++recvs; break;
+      case tdg::CommRecord::Kind::Collective: ++colls; break;
+    }
+    bytes += c.bytes;
+    if (c.kind != tdg::CommRecord::Kind::Send) {
+      wait_seconds +=
+          static_cast<double>(c.t_complete - c.t_post) * 1e-9;
+    }
+  }
+  std::printf("comm ops: %zu (sends %zu, recvs %zu, collectives %zu), "
+              "%llu bytes\n",
+              trace.comms.size(), sends, recvs, colls,
+              static_cast<unsigned long long>(bytes));
+  std::printf("comm wait: %s (recv + collective spans)\n",
+              fmt_seconds(wait_seconds).c_str());
+  const std::vector<tdg::TraceEdge> msg = tdg::message_edges(trace.comms);
+  std::printf("cross-rank message edges: %zu\n", msg.size());
+}
+
 int cmd_summary(const tdg::ParsedTrace& trace) {
   const auto& rec = trace.records;
   std::printf("tasks:    %zu\n", rec.size());
   std::printf("edges:    %zu\n", trace.edges.size());
-  if (rec.empty()) return 0;
+  if (rec.empty() && trace.comms.empty()) return 0;
+  if (rec.empty()) {
+    print_comm_stats(trace);
+    return 0;
+  }
 
   std::uint32_t nthreads = 0;
   std::uint32_t iterations = 0;
@@ -123,6 +179,21 @@ int cmd_summary(const tdg::ParsedTrace& trace) {
               p.max_concurrency);
   std::printf("discovery/execution overlap: %.1f%%\n",
               100.0 * tdg::discovery_execution_overlap(rec));
+  print_comm_stats(trace);
+
+  const std::vector<tdg::RankOverlap> rows =
+      tdg::rank_overlap_matrix(rec, trace.comms);
+  if (rows.size() > 1) {
+    std::printf("\nper rank:\n");
+    std::printf("  %-6s %8s %10s %12s %12s %12s\n", "rank", "tasks",
+                "overlap", "span", "busy", "comm wait");
+    for (const tdg::RankOverlap& r : rows) {
+      std::printf("  %-6d %8zu %9.1f%% %12s %12s %12s\n", r.rank, r.tasks,
+                  100.0 * r.overlap, fmt_seconds(r.span_seconds).c_str(),
+                  fmt_seconds(r.busy_seconds).c_str(),
+                  fmt_seconds(r.comm_wait_seconds).c_str());
+    }
+  }
 
   std::printf("\nby label:\n");
   std::printf("  %-24s %10s %14s\n", "label", "tasks", "body time");
@@ -147,6 +218,11 @@ int cmd_critpath(const tdg::ParsedTrace& trace, std::size_t top) {
               fmt_seconds(cp.length_seconds).c_str());
   std::printf("trace span:    %s (slack ratio %.2f)\n",
               fmt_seconds(cp.span_seconds).c_str(), cp.slack_ratio());
+  if (cp.comm_hops > 0) {
+    std::printf("comm hops:     %zu (cross-rank message edges on the "
+                "path)\n",
+                cp.comm_hops);
+  }
   if (!cp.label_seconds.empty()) {
     std::printf("\nby label:\n");
     for (const auto& [label, s] : cp.label_seconds) {
@@ -161,12 +237,21 @@ int cmd_critpath(const tdg::ParsedTrace& trace, std::size_t top) {
     const std::size_t n =
         top == 0 ? cp.nodes.size() : std::min(top, cp.nodes.size());
     std::printf("\npath (%zu of %zu nodes):\n", n, cp.nodes.size());
+    const bool multi_rank = cp.comm_hops > 0;
     for (std::size_t i = 0; i < n; ++i) {
       const tdg::CriticalPathNode& node = cp.nodes[i];
-      std::printf("  #%-6llu %-24s %14s\n",
-                  static_cast<unsigned long long>(node.task_id),
-                  node.label.empty() ? "(unnamed)" : node.label.c_str(),
-                  fmt_seconds(node.seconds()).c_str());
+      if (multi_rank) {
+        std::printf("  #%-6llu rank %-4d %-24s %14s\n",
+                    static_cast<unsigned long long>(node.task_id),
+                    node.rank,
+                    node.label.empty() ? "(unnamed)" : node.label.c_str(),
+                    fmt_seconds(node.seconds()).c_str());
+      } else {
+        std::printf("  #%-6llu %-24s %14s\n",
+                    static_cast<unsigned long long>(node.task_id),
+                    node.label.empty() ? "(unnamed)" : node.label.c_str(),
+                    fmt_seconds(node.seconds()).c_str());
+      }
     }
     if (n < cp.nodes.size()) {
       std::printf("  ... (%zu more; use -n 0 for all)\n",
@@ -181,10 +266,10 @@ int cmd_export(const tdg::ParsedTrace& trace, const std::string& out_path,
   std::ostringstream body;
   if (format == "perfetto" || format == "json") {
     tdg::write_perfetto(body, trace.records, trace.edges, trace.accesses,
-                        trace.barriers, trace.scope_clears);
+                        trace.barriers, trace.scope_clears, trace.comms);
   } else if (format == "tsv") {
     tdg::write_trace_tsv(body, trace.records, trace.accesses,
-                         trace.barriers, trace.scope_clears);
+                         trace.barriers, trace.scope_clears, trace.comms);
   } else {
     throw tdg::UsageError("unknown export format: " + format);
   }
@@ -199,6 +284,65 @@ int cmd_export(const tdg::ParsedTrace& trace, const std::string& out_path,
                  trace.edges.size());
   }
   return 0;
+}
+
+int cmd_timeline(const tdg::ParsedTrace& trace) {
+  const std::vector<tdg::RankOverlap> rows =
+      tdg::rank_overlap_matrix(trace.records, trace.comms);
+  if (rows.empty()) {
+    std::printf("timeline: empty trace\n");
+    return 0;
+  }
+  std::printf("per-rank discovery/execution overlap:\n");
+  std::printf("  %-6s %8s %10s %12s %12s %12s\n", "rank", "tasks",
+              "overlap", "span", "busy", "comm wait");
+  for (const tdg::RankOverlap& r : rows) {
+    std::printf("  %-6d %8zu %9.1f%% %12s %12s %12s\n", r.rank, r.tasks,
+                100.0 * r.overlap, fmt_seconds(r.span_seconds).c_str(),
+                fmt_seconds(r.busy_seconds).c_str(),
+                fmt_seconds(r.comm_wait_seconds).c_str());
+  }
+  print_comm_stats(trace);
+  const std::vector<tdg::CommWaitEntry> waits =
+      tdg::comm_wait_by_label(trace.comms, trace.records);
+  if (!waits.empty()) {
+    std::printf("\ntop comm-blocked labels:\n");
+    std::printf("  %-24s %8s %12s %14s\n", "label", "ops", "bytes",
+                "wait");
+    std::size_t shown = 0;
+    for (const tdg::CommWaitEntry& w : waits) {
+      std::printf("  %-24s %8zu %12llu %14s\n",
+                  w.label.empty() ? "(unnamed)" : w.label.c_str(), w.ops,
+                  static_cast<unsigned long long>(w.bytes),
+                  fmt_seconds(w.wait_seconds).c_str());
+      if (++shown == 10) break;
+    }
+  }
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& paths,
+              const std::string& out_path, const std::string& format,
+              bool estimate_offsets) {
+  std::vector<tdg::ParsedTrace> inputs;
+  inputs.reserve(paths.size());
+  for (const std::string& p : paths) inputs.push_back(load(p));
+  tdg::MergeOptions mopts;
+  mopts.estimate_clock_offsets = estimate_offsets;
+  tdg::MergeResult res = tdg::merge_traces(std::move(inputs), mopts);
+  for (std::size_t i = 0; i < res.ranks.size(); ++i) {
+    std::fprintf(stderr,
+                 "tdg-trace: input %zu (%s): rank %d, clock offset "
+                 "%+lld ns\n",
+                 i, paths[i].c_str(), res.ranks[i],
+                 static_cast<long long>(res.offset_ns[i]));
+  }
+  std::fprintf(stderr,
+               "tdg-trace: matched %zu message pair%s (%zu unmatched), "
+               "derived %zu cross-rank edges\n",
+               res.matched_messages, res.matched_messages == 1 ? "" : "s",
+               res.unmatched_messages, res.cross_rank_edges.size());
+  return cmd_export(res.trace, out_path, format);
 }
 
 /// True when the trace has no embedded depend clauses — nothing for
@@ -248,12 +392,14 @@ int main(int argc, char** argv) {
 
   if (argc < (lint_alias ? 2 : 3)) return usage(argv[0]);
   const std::string cmd = lint_alias ? "lint" : argv[1];
-  const std::string path = argv[lint_alias ? 1 : 2];
 
   std::size_t top = 20;
   std::string out_path;
   std::string format = "perfetto";
   bool strict = false;
+  bool estimate_offsets = true;
+  // merge accepts several input traces; every other command exactly one.
+  std::vector<std::string> paths{argv[lint_alias ? 1 : 2]};
   for (int i = lint_alias ? 2 : 3; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "-n" && i + 1 < argc) {
@@ -264,6 +410,10 @@ int main(int argc, char** argv) {
       format = argv[++i];
     } else if (a == "--strict") {
       strict = true;
+    } else if (a == "--no-offsets") {
+      estimate_offsets = false;
+    } else if (cmd == "merge" && (a.empty() || a[0] != '-')) {
+      paths.push_back(a);
     } else {
       std::fprintf(stderr, "tdg-trace: unknown option: %s\n", a.c_str());
       return usage(argv[0]);
@@ -271,10 +421,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const tdg::ParsedTrace trace = load(path);
+    if (cmd == "merge") {
+      return cmd_merge(paths, out_path, format, estimate_offsets);
+    }
+    const tdg::ParsedTrace trace = load(paths.front());
     if (cmd == "summary") return cmd_summary(trace);
     if (cmd == "critpath") return cmd_critpath(trace, top);
     if (cmd == "export") return cmd_export(trace, out_path, format);
+    if (cmd == "timeline") return cmd_timeline(trace);
     if (cmd == "verify") return cmd_verify(trace, top);
     if (cmd == "lint") return cmd_lint(trace, strict);
     std::fprintf(stderr, "tdg-trace: unknown command: %s\n", cmd.c_str());
