@@ -40,9 +40,7 @@ int main() {
       o.taskwait_around_comm = taskwait;
       graphs.push_back(build_sim_graph(o));
     }
-    SimConfig cfg;
-    cfg.machine = epyc16();
-    cfg.discovery = discovery_optimized();
+    SimConfig cfg = epyc_config(/*optimized_discovery=*/true);
     cfg.nranks = kRanks;
     // A loaded fabric: face messages (512 KiB rendezvous) cost real time.
     cfg.network.bandwidth = 1.5e9;

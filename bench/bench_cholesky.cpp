@@ -99,9 +99,7 @@ void model_section() {
       t.attrs.bytes = static_cast<std::uint64_t>(
           static_cast<double>(t.attrs.bytes) * scale * scale);
     }
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_optimized();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/true);
     cfg.persistent = persistent;
     cfg.iterations = persistent ? iterations : 1;
     ClusterSim sim(cfg);

@@ -22,11 +22,7 @@ constexpr int kIterations = 16;
 constexpr int kLoops = 10;  // mesh-wide loops per iteration in lulesh-mini
 
 SimConfig llvm_like() {
-  SimConfig cfg;
-  cfg.machine = skylake24();
-  cfg.discovery = discovery_unoptimized();
-  cfg.throttle = throttle_llvm();
-  return cfg;
+  return skylake_config(/*optimized_discovery=*/false, /*mpc_throttle=*/false);
 }
 
 }  // namespace

@@ -36,10 +36,7 @@ int main() {
                   2928, 3216, 3504, 3792, 4080, 4368, 4608}) {
     auto opts = lulesh_intra(tpl, kIterations, /*a=*/false, /*b=*/false,
                              /*c=*/false, /*p=*/false);
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_unoptimized();
-    cfg.throttle = throttle_mpc();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/false);
     auto g = build_sim_graph(opts);
     ClusterSim sim(cfg);
     sim.set_all_graphs(&g);

@@ -22,9 +22,7 @@ int main() {
   {
     auto pf = parallel_for_graph(kIntraPoints, kLoops, kIterations, 24,
                                  /*collective=*/false);
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_unoptimized();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/false);
     ClusterSim sim(cfg);
     sim.set_all_graphs(&pf);
     pf_total = sim.run().makespan;
@@ -40,10 +38,7 @@ int main() {
     // Optimized configuration.
     {
       auto opts = lulesh_intra(tpl, kIterations, true, true, true, true);
-      SimConfig cfg;
-      cfg.machine = skylake24();
-      cfg.discovery = discovery_optimized();
-      cfg.throttle = throttle_mpc();
+      SimConfig cfg = skylake_config(/*optimized_discovery=*/true);
       cfg.persistent = true;
       cfg.iterations = kIterations;
       auto g = build_sim_graph(opts);
@@ -65,10 +60,7 @@ int main() {
     // Non-optimized reference (Fig. 2 configuration), for the speedups.
     {
       auto opts = lulesh_intra(tpl, kIterations, false, false, false, false);
-      SimConfig cfg;
-      cfg.machine = skylake24();
-      cfg.discovery = discovery_unoptimized();
-      cfg.throttle = throttle_mpc();
+      SimConfig cfg = skylake_config(/*optimized_discovery=*/false);
       auto g = build_sim_graph(opts);
       ClusterSim sim(cfg);
       sim.set_all_graphs(&g);

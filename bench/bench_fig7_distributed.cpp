@@ -53,11 +53,7 @@ void run_config(bool optimized) {
     for (int r = 0; r < kRanks; ++r) {
       graphs.push_back(build_sim_graph(rank_options(tpl, r, optimized)));
     }
-    SimConfig cfg;
-    cfg.machine = epyc16();
-    cfg.discovery =
-        optimized ? discovery_optimized() : discovery_unoptimized();
-    cfg.throttle = throttle_mpc();
+    SimConfig cfg = epyc_config(optimized);
     cfg.persistent = optimized;
     cfg.iterations = optimized ? kIterations : 1;
     cfg.nranks = kRanks;
@@ -93,9 +89,7 @@ int main() {
   {
     auto pf = parallel_for_graph(kPerRankPoints, 10, kIterations, 16,
                                  /*collective=*/true);
-    SimConfig cfg;
-    cfg.machine = epyc16();
-    cfg.discovery = discovery_unoptimized();
+    SimConfig cfg = epyc_config(/*optimized_discovery=*/false);
     cfg.nranks = kRanks;
     ClusterSim sim(cfg);
     sim.set_all_graphs(&pf);

@@ -46,9 +46,7 @@ void run_config(bool optimized) {
     o.s = 256;
     graphs.push_back(build_sim_graph(o));
   }
-  SimConfig cfg;
-  cfg.machine = epyc16();
-  cfg.discovery = optimized ? discovery_optimized() : discovery_unoptimized();
+  SimConfig cfg = epyc_config(optimized);
   cfg.persistent = optimized;
   cfg.iterations = optimized ? kIterations : 1;
   cfg.nranks = kRanks;

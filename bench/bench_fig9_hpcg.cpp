@@ -68,9 +68,7 @@ int main() {
   {
     auto pf = parallel_for_graph(kRowsPerRank, 6, kCgIterations, 24,
                                  /*collective=*/true, 60e-9, 120);
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_optimized();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/true);
     cfg.nranks = kRanks;
     ClusterSim sim(cfg);
     sim.set_all_graphs(&pf);
@@ -84,10 +82,7 @@ int main() {
     const hpcg::Config base = model_config(tpl);
     std::vector<SimGraph> graphs;
     for (int r = 0; r < kRanks; ++r) graphs.push_back(rank_graph(base, r));
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_optimized();
-    cfg.throttle = throttle_mpc();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/true);
     cfg.nranks = kRanks;
     ClusterSim sim(cfg);
     for (int r = 0; r < kRanks; ++r) {

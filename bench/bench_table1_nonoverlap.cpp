@@ -29,10 +29,7 @@ int main() {
                        Case{4608, false, "normal"},
                        Case{4608, true, "non-overlapped"}}) {
     auto opts = lulesh_intra(c.tpl, kIterations, false, false, false, false);
-    SimConfig cfg;
-    cfg.machine = skylake24();
-    cfg.discovery = discovery_unoptimized();
-    cfg.throttle = throttle_mpc();
+    SimConfig cfg = skylake_config(/*optimized_discovery=*/false);
     cfg.non_overlapped = c.non_overlapped;
     auto g = build_sim_graph(opts);
     ClusterSim sim(cfg);

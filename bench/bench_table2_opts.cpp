@@ -49,12 +49,8 @@ void simulated_section() {
   row({"optimizations", "edges", "discovery(s)", "total(s)"}, 16);
   for (const Combo& c : kCombos) {
     auto opts = lulesh_intra(kTpl, kIterations, c.a, c.b, c.c, c.p);
-    SimConfig cfg;
-    cfg.machine = skylake24();
     // Runtime-side fast paths come with (b)+(c) implemented.
-    cfg.discovery = (c.b && c.c) ? discovery_optimized()
-                                 : discovery_unoptimized();
-    cfg.throttle = throttle_mpc();
+    SimConfig cfg = skylake_config(c.b && c.c);
     cfg.persistent = c.p;
     cfg.iterations = c.p ? kIterations : 1;
     auto g = build_sim_graph(opts);

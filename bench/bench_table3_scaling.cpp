@@ -28,10 +28,7 @@ constexpr double kScaleUp = 1024.0 / kIterations;
 constexpr double kWeakPoints = 16.7e6;  // -s 256 per rank
 
 SimConfig rep_config(int nranks, bool optimized) {
-  SimConfig cfg;
-  cfg.machine = epyc16();
-  cfg.discovery = optimized ? discovery_optimized() : discovery_unoptimized();
-  cfg.throttle = throttle_mpc();
+  SimConfig cfg = epyc_config(optimized);
   cfg.nranks = nranks;
   cfg.representative = true;
   // Load imbalance seen by collectives grows slowly with machine size.

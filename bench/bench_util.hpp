@@ -7,7 +7,9 @@
 // speedup factors, overlap ratios (see EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,107 @@ inline tdg::sim::SimThrottle throttle_llvm() {
 }
 inline tdg::sim::SimThrottle throttle_mpc() {
   return {.max_ready = static_cast<std::size_t>(-1), .max_total = 10'000'000};
+}
+
+/// Canonical paper-figure simulator configurations: the one place that
+/// assembles machine + discovery + throttle, so new sweeps (taskbench)
+/// cannot drift from the figure benches. `mpc_throttle` selects MPC-OMP's
+/// total bound (the SimThrottle default) over the LLVM-like ready bound.
+inline tdg::sim::SimConfig skylake_config(bool optimized_discovery,
+                                          bool mpc_throttle = true) {
+  tdg::sim::SimConfig cfg;
+  cfg.machine = skylake24();
+  cfg.discovery =
+      optimized_discovery ? discovery_optimized() : discovery_unoptimized();
+  cfg.throttle = mpc_throttle ? throttle_mpc() : throttle_llvm();
+  return cfg;
+}
+
+/// EPYC-node variant (Section 4's distributed runs, MPC throttle).
+inline tdg::sim::SimConfig epyc_config(bool optimized_discovery) {
+  tdg::sim::SimConfig cfg;
+  cfg.machine = epyc16();
+  cfg.discovery =
+      optimized_discovery ? discovery_optimized() : discovery_unoptimized();
+  cfg.throttle = throttle_mpc();
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// METG(95%) — Minimum Effective Task Granularity (Task Bench methodology)
+// ---------------------------------------------------------------------------
+
+/// One grain sample of a METG sweep.
+struct MetgSample {
+  double grain_us = 0;
+  double efficiency = 0;
+};
+
+/// Average task grain of a simulated rank, in microseconds. Empty when the
+/// rank executed no tasks (the divide-by-zero a raw work/tasks computation
+/// hits on degenerate configs).
+inline std::optional<double> grain_us_of(const tdg::sim::RankResult& r) {
+  if (r.tasks_executed == 0) return std::nullopt;
+  const double g = r.work / static_cast<double>(r.tasks_executed);
+  if (!(g >= 0)) return std::nullopt;  // NaN/negative work guard
+  return g * 1e6;
+}
+
+/// METG(threshold) from the *efficiency frontier*: starting at the
+/// best-efficiency sample, walk toward finer grains while efficiency stays
+/// >= threshold; METG is the finest grain reached before the first dip. A
+/// raw min over the samples would jump across dips of a non-monotonic
+/// curve and report a grain whose neighbourhood is not actually effective
+/// (a spurious fine-grain recovery after a sub-threshold valley). Empty
+/// when no sample clears the bar.
+inline std::optional<double> metg_frontier(std::vector<MetgSample> samples,
+                                           double threshold = 0.95) {
+  std::sort(samples.begin(), samples.end(),
+            [](const MetgSample& a, const MetgSample& b) {
+              return a.grain_us > b.grain_us;
+            });
+  // Anchor at the best sample (the coarsest one on ties): coarse grains may
+  // legitimately sit under the bar when they starve the machine of
+  // parallelism — METG bounds the *fine* end, not the coarse end.
+  std::size_t best = samples.size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (best == samples.size() ||
+        samples[i].efficiency > samples[best].efficiency) {
+      best = i;
+    }
+  }
+  if (best == samples.size() || !(samples[best].efficiency >= threshold)) {
+    return std::nullopt;
+  }
+  std::optional<double> metg;
+  for (std::size_t i = best; i < samples.size(); ++i) {
+    if (!(samples[i].efficiency >= threshold)) break;  // NaN stops too
+    metg = samples[i].grain_us;
+  }
+  return metg;
+}
+
+/// Normalize raw work-rates (useful seconds per second, or any throughput)
+/// into best-relative efficiencies, the Task Bench METG normalization:
+/// the sweep's best sample defines 100%.
+inline std::vector<MetgSample> normalize_rates(
+    const std::vector<MetgSample>& rate_samples) {
+  double best = 0;
+  for (const auto& s : rate_samples) best = std::max(best, s.efficiency);
+  std::vector<MetgSample> out;
+  out.reserve(rate_samples.size());
+  for (const auto& s : rate_samples) {
+    out.push_back({s.grain_us, best > 0 ? s.efficiency / best : 0.0});
+  }
+  return out;
+}
+
+/// "12.3" or "n/a" — never the 1e300 sentinel.
+inline std::string fmt_metg(const std::optional<double>& metg, int prec = 1) {
+  if (!metg) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, *metg);
+  return buf;
 }
 
 /// Modelled intra-node mesh size (points). The paper fills 78% of a

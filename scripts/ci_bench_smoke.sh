@@ -17,7 +17,11 @@
 # Besides the gate, each run appends one record per benchmark to the
 # trajectory files BENCH_runtime.json and BENCH_discovery.json (JSON
 # arrays of {name, median_items_per_second, threads, git_sha, date}),
-# so successive CI runs accumulate a perf history alongside pass/fail.
+# and runs the strict-verified taskbench METG smoke sweep, bulk-recording
+# its pattern x engine x config frontier into BENCH_metg.json
+# ({name, value, unit, threads, git_sha, date}), so successive CI runs
+# accumulate a perf history alongside pass/fail. Appending goes through
+# scripts/record_trajectory.py (validation, dedupe, cap).
 # BENCH_OUT_DIR (default: repo root) selects where they are written.
 set -euo pipefail
 
@@ -52,71 +56,11 @@ else:
 }
 
 # record_trajectory <file> <bench-name> <threads> <median>: append one
-# record to the JSON-array trajectory file (created on first use). The
-# new record is validated before it is written (a NaN median or broken
-# measurement fails the run rather than poisoning the history); a corrupt
-# existing file is quarantined to <file>.corrupt and malformed existing
-# records are dropped with a warning, so the file stays parseable JSON.
+# validated record to the JSON-array trajectory file (created on first
+# use). See scripts/record_trajectory.py for the validation, dedupe and
+# cap semantics.
 record_trajectory() {
-  python3 - "$out_dir/$1" "$2" "$3" "$4" <<'EOF'
-import datetime, json, math, os, subprocess, sys
-path, name, threads, median = sys.argv[1:5]
-try:
-    threads = int(threads)
-    median = float(median)
-except ValueError as e:
-    sys.exit(f"bench-smoke FAILED: unparseable measurement for {name}: {e}")
-if not math.isfinite(median) or median <= 0:
-    sys.exit(f"bench-smoke FAILED: bad median for {name}: {median}")
-if threads <= 0:
-    sys.exit(f"bench-smoke FAILED: bad thread count for {name}: {threads}")
-# Record names carry the thread count as their final "/N" segment (the
-# google-benchmark convention); normalize so every record is consistent.
-if not name.endswith(f"/{threads}"):
-    name = f"{name}/{threads}"
-try:
-    sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
-                         text=True, check=True).stdout.strip()
-except Exception:
-    sha = "unknown"
-records = []
-if os.path.exists(path):
-    try:
-        with open(path) as f:
-            records = json.load(f)
-        if not isinstance(records, list):
-            raise ValueError("trajectory root is not a JSON array")
-    except ValueError as e:
-        quarantine = path + ".corrupt"
-        os.replace(path, quarantine)
-        print(f"=== [bench-smoke] WARNING: {path} invalid ({e}); "
-              f"quarantined to {quarantine} ===")
-        records = []
-valid = []
-for r in records:
-    ok = (isinstance(r, dict) and isinstance(r.get("name"), str)
-          and isinstance(r.get("threads"), int)
-          and isinstance(r.get("median_items_per_second"), (int, float))
-          and math.isfinite(r["median_items_per_second"]))
-    if ok:
-        valid.append(r)
-    else:
-        print(f"=== [bench-smoke] WARNING: dropping malformed record "
-              f"{r!r} ===")
-records = valid
-records.append({
-    "name": name,
-    "median_items_per_second": median,
-    "threads": threads,
-    "git_sha": sha,
-    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
-})
-with open(path, "w") as f:
-    json.dump(records, f, indent=2)
-    f.write("\n")
-print(f"=== [bench-smoke] appended {name} to {path} "
-      f"({len(records)} record(s)) ===")
-EOF
+  python3 scripts/record_trajectory.py "$out_dir/$1" "$2" "$3" "$4"
 }
 
 # gate <name> <current>: compare against the named baseline line (the
@@ -151,7 +95,7 @@ if ratio < min_fraction:
 EOF
 }
 
-for target in bench_micro_runtime bench_micro_discovery; do
+for target in bench_micro_runtime bench_micro_discovery bench_metg; do
   if [ ! -x "$build_dir"/bench/"$target" ]; then
     echo "=== [bench-smoke] building $build_dir/$target ==="
     cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -171,3 +115,31 @@ record_trajectory BENCH_discovery.json BM_DiscoveryMixed/10000/1 1 \
 
 gate spawn "$spawn"
 gate discovery "$discovery"
+
+# taskbench METG smoke: the full pattern matrix at smoke scale on both
+# engines, every real-runtime leg strict-verified, frontier records
+# bulk-appended to BENCH_metg.json. The coverage check keeps the leg
+# honest: losing a pattern or an engine from the sweep fails CI.
+echo "=== [bench-smoke] running bench_metg --smoke (TDG_VERIFY=strict) ==="
+metg_json=$(mktemp)
+trap 'rm -f "$metg_json"' EXIT
+TDG_VERIFY=strict "$build_dir"/bench/bench_metg --smoke --json "$metg_json"
+python3 - "$metg_json" <<'EOF'
+import json, sys
+records = json.load(open(sys.argv[1]))
+engines = {}
+for r in records:
+    parts = r["name"].split("/")  # taskbench/<pattern>/<engine>/<config>
+    if parts[0] == "taskbench" and len(parts) == 4:
+        engines.setdefault((parts[2], parts[3]), set()).add(parts[1])
+for engine in ("real", "sim"):
+    for config in ("opt", "unopt"):
+        n = len(engines.get((engine, config), set()))
+        print(f"=== [bench-smoke] taskbench coverage: {n} patterns "
+              f"on {engine}/{config} ===")
+        if n < 6:
+            sys.exit(f"bench-smoke FAILED: only {n} patterns swept on "
+                     f"{engine}/{config} (need >= 6)")
+EOF
+python3 scripts/record_trajectory.py --bulk "$metg_json" \
+        "$out_dir/BENCH_metg.json"

@@ -24,7 +24,8 @@ cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 
 echo "=== [static] build ==="
 cmake --build "$dir" -j "$jobs" \
-      --target test_verify test_cholesky test_lulesh tdg-trace cholesky_demo
+      --target test_verify test_cholesky test_lulesh test_taskbench \
+               tdg-trace cholesky_demo
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== [static] clang-tidy ==="
@@ -42,6 +43,7 @@ echo "=== [static] verifier self-tests ==="
 echo "=== [static] TDG_VERIFY=strict application suites ==="
 TDG_VERIFY=strict "$dir"/tests/test_cholesky
 TDG_VERIFY=strict "$dir"/tests/test_lulesh
+TDG_VERIFY=strict "$dir"/tests/test_taskbench
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Append benchmark records to a JSON-array trajectory file.
+
+Two modes:
+
+  record_trajectory.py FILE NAME THREADS ITEMS_PER_SECOND
+      Append a single google-benchmark-style throughput record
+      ({name, median_items_per_second, threads, git_sha, date}); NAME is
+      normalized to carry "/THREADS" as its final segment.
+
+  record_trajectory.py --bulk SRC FILE
+      Append every record of SRC (a JSON array of {name, value, unit,
+      threads} objects, e.g. bench_metg --json output) as generalized
+      records ({name, value, unit, threads, git_sha, date}).
+
+Every new record is validated before it is written: a NaN/non-positive
+value or a bad thread count fails the run rather than poisoning the
+history. A corrupt existing FILE is quarantined to FILE.corrupt and
+malformed existing records are dropped with a warning, so the file stays
+parseable JSON.
+
+The trajectory is also kept bounded and duplicate-free: only the latest
+record per (name, threads, git_sha) survives — re-running CI on the same
+commit updates its record in place instead of appending forever — and the
+file is capped to the most recent TRAJECTORY_CAP records (default 400).
+"""
+
+import datetime
+import json
+import math
+import os
+import subprocess
+import sys
+
+CAP = int(os.environ.get("TRAJECTORY_CAP", "400"))
+
+
+def fail(msg):
+    sys.exit(f"record-trajectory FAILED: {msg}")
+
+
+def git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def load_existing(path):
+    """Existing records of `path`, quarantining a corrupt file and dropping
+    (with a warning) records that fit neither accepted shape."""
+    records = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                records = json.load(f)
+            if not isinstance(records, list):
+                raise ValueError("trajectory root is not a JSON array")
+        except ValueError as e:
+            quarantine = path + ".corrupt"
+            os.replace(path, quarantine)
+            print(f"=== [record-trajectory] WARNING: {path} invalid ({e}); "
+                  f"quarantined to {quarantine} ===")
+            records = []
+    valid = []
+    for r in records:
+        ok = (isinstance(r, dict) and isinstance(r.get("name"), str)
+              and isinstance(r.get("threads"), int))
+        if ok:
+            if "median_items_per_second" in r:  # legacy throughput shape
+                v = r["median_items_per_second"]
+            else:  # generalized {value, unit} shape
+                v = r.get("value")
+                ok = isinstance(r.get("unit"), str)
+            ok = ok and isinstance(v, (int, float)) and math.isfinite(v)
+        if ok:
+            valid.append(r)
+        else:
+            print(f"=== [record-trajectory] WARNING: dropping malformed "
+                  f"record {r!r} ===")
+    return valid
+
+
+def dedupe_and_cap(records):
+    """Keep the latest record per (name, threads, git_sha), then the most
+    recent CAP records. Later entries in the file are newer."""
+    latest = {}
+    for i, r in enumerate(records):
+        latest[(r["name"], r["threads"], r.get("git_sha", "unknown"))] = i
+    keep = sorted(latest.values())
+    records = [records[i] for i in keep]
+    if len(records) > CAP:
+        print(f"=== [record-trajectory] capping trajectory to the newest "
+              f"{CAP} of {len(records)} records ===")
+        records = records[-CAP:]
+    return records
+
+
+def store(path, records, appended):
+    records = dedupe_and_cap(records)
+    with open(path, "w") as f:
+        json.dump(records, f, indent=2)
+        f.write("\n")
+    print(f"=== [record-trajectory] appended {appended} record(s) to "
+          f"{path} ({len(records)} total) ===")
+
+
+def check_value(name, value):
+    if not math.isfinite(value) or value <= 0:
+        fail(f"bad value for {name}: {value}")
+
+
+def check_threads(name, threads):
+    if threads <= 0:
+        fail(f"bad thread count for {name}: {threads}")
+
+
+def main_single(path, name, threads, median):
+    try:
+        threads = int(threads)
+        median = float(median)
+    except ValueError as e:
+        fail(f"unparseable measurement for {name}: {e}")
+    check_value(name, median)
+    check_threads(name, threads)
+    # Record names carry the thread count as their final "/N" segment (the
+    # google-benchmark convention); normalize so every record is consistent.
+    if not name.endswith(f"/{threads}"):
+        name = f"{name}/{threads}"
+    records = load_existing(path)
+    records.append({
+        "name": name,
+        "median_items_per_second": median,
+        "threads": threads,
+        "git_sha": git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    })
+    store(path, records, appended=1)
+
+
+def main_bulk(src, path):
+    try:
+        with open(src) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read bulk source {src}: {e}")
+    if not isinstance(fresh, list) or not fresh:
+        fail(f"bulk source {src} is not a non-empty JSON array")
+    sha = git_sha()
+    date = datetime.datetime.now(datetime.timezone.utc).isoformat()
+    records = load_existing(path)
+    for r in fresh:
+        if not (isinstance(r, dict) and isinstance(r.get("name"), str)
+                and isinstance(r.get("unit"), str)
+                and isinstance(r.get("threads"), int)
+                and isinstance(r.get("value"), (int, float))):
+            fail(f"malformed bulk record {r!r}")
+        check_value(r["name"], float(r["value"]))
+        check_threads(r["name"], r["threads"])
+        records.append({
+            "name": r["name"],
+            "value": float(r["value"]),
+            "unit": r["unit"],
+            "threads": r["threads"],
+            "git_sha": sha,
+            "date": date,
+        })
+    store(path, records, appended=len(fresh))
+
+
+def main(argv):
+    if len(argv) == 3 and argv[0] == "--bulk":
+        main_bulk(argv[1], argv[2])
+    elif len(argv) == 4 and argv[0] != "--bulk":
+        main_single(*argv)
+    else:
+        sys.exit(__doc__)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/record_trajectory.py: validation, name
+normalization, dedupe of same-commit re-runs, the record cap, corrupt-file
+quarantine, and bulk-mode schema enforcement."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                      "scripts", "record_trajectory.py")
+
+
+def run(args, cwd, env=None, expect_fail=False):
+    full_env = dict(os.environ)
+    if env:
+        full_env.update(env)
+    proc = subprocess.run([sys.executable, SCRIPT] + args, cwd=cwd,
+                          env=full_env, capture_output=True, text=True)
+    if expect_fail:
+        assert proc.returncode != 0, proc.stdout + proc.stderr
+    else:
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class RecordTrajectoryTest(unittest.TestCase):
+    def setUp(self):
+        # Run outside any git repo so git_sha is the stable "unknown".
+        self.tmp = tempfile.TemporaryDirectory()
+        self.cwd = self.tmp.name
+        self.path = os.path.join(self.cwd, "BENCH_test.json")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_single_append_normalizes_name(self):
+        run([self.path, "BM_Spawn", "2", "123.5"], self.cwd)
+        records = load(self.path)
+        self.assertEqual(len(records), 1)
+        self.assertEqual(records[0]["name"], "BM_Spawn/2")
+        self.assertEqual(records[0]["threads"], 2)
+        self.assertEqual(records[0]["median_items_per_second"], 123.5)
+
+    def test_rejects_bad_values(self):
+        for bad in ["nan", "-1", "0", "bogus"]:
+            run([self.path, "x", "1", bad], self.cwd, expect_fail=True)
+        run([self.path, "x", "0", "1.0"], self.cwd, expect_fail=True)
+        self.assertFalse(os.path.exists(self.path))
+
+    def test_dedupe_keeps_latest_per_commit(self):
+        # Same (name, threads, git_sha): a re-run replaces, not appends.
+        run([self.path, "BM_Spawn/1", "1", "100"], self.cwd)
+        run([self.path, "BM_Spawn/1", "1", "200"], self.cwd)
+        run([self.path, "BM_Other/1", "1", "50"], self.cwd)
+        records = load(self.path)
+        self.assertEqual(len(records), 2)
+        by_name = {r["name"]: r for r in records}
+        self.assertEqual(by_name["BM_Spawn/1"]["median_items_per_second"],
+                         200.0)
+
+    def test_cap_drops_oldest(self):
+        env = {"TRAJECTORY_CAP": "3"}
+        for i in range(5):
+            run([self.path, f"BM_{i}/1", "1", "10"], self.cwd, env=env)
+        records = load(self.path)
+        self.assertEqual([r["name"] for r in records],
+                         ["BM_2/1", "BM_3/1", "BM_4/1"])
+
+    def test_corrupt_file_is_quarantined(self):
+        with open(self.path, "w") as f:
+            f.write("{not json")
+        run([self.path, "BM_Spawn/1", "1", "100"], self.cwd)
+        self.assertEqual(len(load(self.path)), 1)
+        self.assertTrue(os.path.exists(self.path + ".corrupt"))
+
+    def test_malformed_records_are_dropped(self):
+        with open(self.path, "w") as f:
+            json.dump([{"name": "ok/1", "threads": 1,
+                        "median_items_per_second": 5.0},
+                       {"name": "missing-fields"}, 42], f)
+        run([self.path, "BM_Spawn/1", "1", "100"], self.cwd)
+        names = [r["name"] for r in load(self.path)]
+        self.assertEqual(names, ["ok/1", "BM_Spawn/1"])
+
+    def test_bulk_append_and_mixed_shapes_survive(self):
+        src = os.path.join(self.cwd, "bulk.json")
+        with open(src, "w") as f:
+            json.dump([
+                {"name": "metg/stencil_1d/real/opt", "threads": 2,
+                 "value": 12.5, "unit": "us"},
+                {"name": "taskbench/fft/sim/opt", "threads": 24,
+                 "value": 5e5, "unit": "tasks_per_second"},
+            ], f)
+        run([self.path, "BM_Spawn/1", "1", "100"], self.cwd)
+        run(["--bulk", src, self.path], self.cwd)
+        records = load(self.path)
+        self.assertEqual(len(records), 3)
+        self.assertEqual(records[1]["unit"], "us")
+        # The legacy throughput record coexists with the generalized ones.
+        run(["--bulk", src, self.path], self.cwd)  # same sha: dedupes
+        self.assertEqual(len(load(self.path)), 3)
+
+    def test_bulk_rejects_malformed_source(self):
+        src = os.path.join(self.cwd, "bulk.json")
+        with open(src, "w") as f:
+            json.dump([{"name": "x", "threads": 1, "value": 1.0}], f)  # no unit
+        run(["--bulk", src, self.path], self.cwd, expect_fail=True)
+        with open(src, "w") as f:
+            json.dump([{"name": "x", "threads": 1, "value": float("inf"),
+                        "unit": "us"}], f)
+        run(["--bulk", src, self.path], self.cwd, expect_fail=True)
+        with open(src, "w") as f:
+            json.dump([], f)
+        run(["--bulk", src, self.path], self.cwd, expect_fail=True)
+        self.assertFalse(os.path.exists(self.path))
+
+
+if __name__ == "__main__":
+    unittest.main()
