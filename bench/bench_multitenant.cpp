@@ -1,0 +1,165 @@
+// Multi-tenant microbenchmarks: batched vs per-task submission on the
+// discovery path, and aggregate throughput of N tenants sharing one
+// WorkerPool.
+//
+// Gated pair (scripts/ci_bench_smoke.sh, BENCH_multitenant.json):
+//   BM_SubmitPerTask  — one discovery episode per submit(): the clock
+//                       stamp, ready-count/pool-mirror RMWs, parked-worker
+//                       probe and throttle check are paid per task.
+//   BM_SubmitBatch    — the same graph through begin_batch/end_batch: the
+//                       per-submit publication costs are deferred and paid
+//                       once per batch. The smoke script requires batch
+//                       submission >= 1.15x the per-task rate.
+// Both time submission only (execution is drained outside the timed
+// region), items_per_second = tasks discovered per second.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/tdg.hpp"
+#include "core/worker_pool.hpp"
+
+namespace {
+
+using tdg::Depend;
+using tdg::Runtime;
+using tdg::WorkerPool;
+
+constexpr int kTasksPerEpisode = 4096;
+
+Runtime::Config solo() {
+  Runtime::Config cfg;
+  cfg.num_threads = 1;
+  // Measure pure submission: no metrics branch, no throttling, no worker
+  // wakeup traffic (zero pool workers; the producer drains untimed).
+  cfg.throttle.max_total = static_cast<std::size_t>(-1);
+  cfg.metrics = false;
+  return cfg;
+}
+
+void BM_SubmitPerTask(benchmark::State& state) {
+  std::int64_t submitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    for (int i = 0; i < kTasksPerEpisode; ++i) {
+      rt.submit([] {}, {});
+    }
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+    submitted += kTasksPerEpisode;
+  }
+  state.SetItemsProcessed(submitted);
+}
+BENCHMARK(BM_SubmitPerTask);
+
+void BM_SubmitBatch(benchmark::State& state) {
+  std::int64_t submitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    rt.begin_batch();
+    for (int i = 0; i < kTasksPerEpisode; ++i) {
+      rt.submit([] {}, {});
+    }
+    rt.end_batch();
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+    submitted += kTasksPerEpisode;
+  }
+  state.SetItemsProcessed(submitted);
+}
+BENCHMARK(BM_SubmitBatch);
+
+/// Batched submission with real depend clauses (a chain per address): the
+/// deferred publication still helps, but discovery hash/edge work bounds
+/// the gain — the realistic companion to the gated empty-clause pair.
+void BM_SubmitBatchWithDeps(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  constexpr int kAddrs = 256;
+  constexpr int kPerAddr = 16;
+  std::vector<double> addrs(kAddrs);
+  std::int64_t submitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt(solo());
+    state.ResumeTiming();
+    if (batched) rt.begin_batch();
+    for (int a = 0; a < kAddrs; ++a) {
+      double* p = &addrs[static_cast<std::size_t>(a)];
+      for (int i = 0; i < kPerAddr; ++i) {
+        rt.submit([] {}, {Depend::inout(p)});
+      }
+    }
+    if (batched) rt.end_batch();
+    state.PauseTiming();
+    rt.taskwait();
+    state.ResumeTiming();
+    submitted += kAddrs * kPerAddr;
+  }
+  state.SetItemsProcessed(submitted);
+}
+BENCHMARK(BM_SubmitBatchWithDeps)->Arg(0)->Arg(1);
+
+/// Aggregate throughput of N tenants pumping serialized chains through
+/// one shared pool (3 workers + N producers). items_per_second = tasks
+/// completed per second of wall time across all tenants.
+void BM_MultitenantThroughput(benchmark::State& state) {
+  const unsigned tenants = static_cast<unsigned>(state.range(0));
+  constexpr int kGraphs = 64;
+  constexpr int kChain = 4;
+  std::int64_t completed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkerPool::Config pc;
+    pc.num_workers = 3;
+    pc.max_tenants = tenants;
+    WorkerPool pool(pc);
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    producers.reserve(tenants);
+    for (unsigned t = 0; t < tenants; ++t) {
+      producers.emplace_back([&] {
+        Runtime::Config cfg;
+        cfg.pool = &pool;
+        cfg.metrics = false;
+        Runtime rt(cfg);
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::uint64_t sum = 0;
+        for (int g = 0; g < kGraphs; ++g) {
+          for (int k = 0; k < kChain; ++k) {
+            rt.submit([&sum, k] { sum += static_cast<std::uint64_t>(k); },
+                      {Depend::inout(&sum)});
+          }
+          if (g % 16 == 15) rt.taskwait();
+        }
+        rt.taskwait();
+        benchmark::DoNotOptimize(sum);
+      });
+    }
+    while (ready.load() != tenants) std::this_thread::yield();
+    state.ResumeTiming();
+    go.store(true, std::memory_order_release);
+    for (auto& th : producers) th.join();
+    state.PauseTiming();
+    completed += static_cast<std::int64_t>(tenants) * kGraphs * kChain;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(completed);
+  state.counters["tenants"] = static_cast<double>(tenants);
+}
+BENCHMARK(BM_MultitenantThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+}  // namespace

@@ -95,7 +95,8 @@ if ratio < min_fraction:
 EOF
 }
 
-for target in bench_micro_runtime bench_micro_discovery bench_metg; do
+for target in bench_micro_runtime bench_micro_discovery bench_metg \
+              bench_multitenant; do
   if [ ! -x "$build_dir"/bench/"$target" ]; then
     echo "=== [bench-smoke] building $build_dir/$target ==="
     cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -143,3 +144,45 @@ for engine in ("real", "sim"):
 EOF
 python3 scripts/record_trajectory.py --bulk "$metg_json" \
         "$out_dir/BENCH_metg.json"
+
+# Multi-tenant smoke: batched submission must beat per-task submission on
+# discovery throughput (the deferred per-submit publication costs), and
+# the tenant-scaling sweep is recorded so the trajectory catches shared-
+# pool contention regressions. BATCH_MIN_RATIO (default 1.15) is the gate.
+batch_min_ratio=${BATCH_MIN_RATIO:-1.15}
+echo "=== [bench-smoke] running bench_multitenant submission pair ==="
+per_task=$(measure bench_multitenant 'BM_SubmitPerTask$')
+batch=$(measure bench_multitenant 'BM_SubmitBatch$')
+echo "=== [bench-smoke] running BM_MultitenantThroughput sweep ==="
+mt2=$(measure bench_multitenant 'BM_MultitenantThroughput/2/real_time$')
+mt8=$(measure bench_multitenant 'BM_MultitenantThroughput/8/real_time$')
+
+mt_json=$(mktemp)
+trap 'rm -f "$metg_json" "$mt_json"' EXIT
+python3 - "$per_task" "$batch" "$mt2" "$mt8" > "$mt_json" <<'EOF'
+import json, sys
+per_task, batch, mt2, mt8 = map(float, sys.argv[1:5])
+print(json.dumps([
+    {"name": "multitenant/submit_per_task", "value": per_task,
+     "unit": "tasks_per_second", "threads": 1},
+    {"name": "multitenant/submit_batch", "value": batch,
+     "unit": "tasks_per_second", "threads": 1},
+    {"name": "multitenant/throughput_2_tenants", "value": mt2,
+     "unit": "tasks_per_second", "threads": 2},
+    {"name": "multitenant/throughput_8_tenants", "value": mt8,
+     "unit": "tasks_per_second", "threads": 8},
+]))
+EOF
+python3 scripts/record_trajectory.py --bulk "$mt_json" \
+        "$out_dir/BENCH_multitenant.json"
+
+python3 - "$per_task" "$batch" "$batch_min_ratio" <<'EOF'
+import sys
+per_task, batch, floor = map(float, sys.argv[1:4])
+ratio = batch / per_task
+print(f"=== [bench-smoke] batch submission {batch:.3e} tasks/s vs "
+      f"per-task {per_task:.3e} (ratio {ratio:.2f}, floor {floor}) ===")
+if ratio < floor:
+    sys.exit(f"bench-smoke FAILED: batch submission only {ratio:.2f}x "
+             f"per-task submit (floor {floor}x)")
+EOF

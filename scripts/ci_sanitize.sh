@@ -66,6 +66,10 @@ done
 
 echo "=== sanitizer runs passed: ${sanitizers[*]} ==="
 
+# Multi-tenant soak: many tenants on one shared WorkerPool under TSan and
+# ASan with TDG_VERIFY=strict (reuses the sanitized trees built above).
+scripts/ci_soak.sh
+
 # Scheduler throughput smoke: guard against regressions in the spawn path
 # (deque + slab allocator). Uses the unsanitized tree; see the script for
 # the baseline-recording protocol.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Multi-tenant soak under the sanitizers: N submitter threads, each owning
+# one tenant runtime on a shared WorkerPool, pump thousands of serialized
+# chains through the pool with TDG_VERIFY=strict — per-tenant checksums
+# catch lost/duplicated tasks, the strict verifier catches unsound TDGs,
+# TSan catches ordering bugs in the pool's pin/steal/park protocols and
+# ASan catches descriptor lifetime bugs across tenant teardown.
+#
+# Usage: scripts/ci_soak.sh [thread|address]...
+# With no arguments both sanitizers run. Reuses (or builds) the same
+# build-tsan/ and build-asan/ trees as scripts/ci_sanitize.sh. Scale
+# knobs: SOAK_TENANTS (default 8), SOAK_GRAPHS (default 1000).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(thread address)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+tenants=${SOAK_TENANTS:-8}
+graphs=${SOAK_GRAPHS:-1000}
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$san' (expected thread|address)" >&2
+       exit 2 ;;
+  esac
+
+  if [ ! -d "$dir" ]; then
+    echo "=== [soak/$san] configure ($dir) ==="
+    cmake -B "$dir" -S . -DTDG_SANITIZE="$san" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  fi
+  # Always build: incremental when the tree is fresh, and a standalone
+  # invocation never soaks binaries stale against the working tree.
+  echo "=== [soak/$san] build ($dir) ==="
+  cmake --build "$dir" -j "$jobs" \
+        --target multitenant_soak test_deque test_multitenant
+
+  # Three configurations: per-task submission, batched submission, and
+  # weighted tenants — the batch and fairness paths have their own
+  # publication orderings worth soaking separately.
+  for args in "" "--batch 1" "--weights 1"; do
+    echo "=== [soak/$san] multitenant_soak $tenants x $graphs $args ==="
+    # shellcheck disable=SC2086
+    TDG_VERIFY=strict \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+      "$dir"/examples/multitenant_soak --tenants "$tenants" \
+            --graphs "$graphs" $args
+  done
+
+  echo "=== [soak/$san] inject-queue + multitenant unit stress ==="
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "$dir"/tests/test_deque --gtest_filter='InjectQueueStress.*' \
+          --gtest_repeat=3
+  TDG_VERIFY=strict \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "$dir"/tests/test_multitenant
+done
+
+echo "=== multi-tenant soak passed: ${sanitizers[*]} ==="

@@ -162,4 +162,74 @@ class ChaseLevDeque {
   std::vector<std::unique_ptr<Ring>> retired_;      // owner only
 };
 
+/// MPMC FIFO inject queue for ready tasks published by threads that own no
+/// deque slot (foreign detach fulfilment, nested-runtime producers, the
+/// pool's foreign-task reroute). Cold path by design — a spin lock guards
+/// the storage — but the *empty probe* is on every scheduling decision, so
+/// it reads a lock-free size mirror instead of taking the lock.
+///
+/// Mirror ordering contract: push() links the element under the lock and
+/// THEN publishes the count with a release fetch_add; an empty probe
+/// acquire-loads the count, so a nonzero observation happens-after the
+/// element became poppable — the fast path can never miss a published
+/// inject. pop() decrements with release only after the element left the
+/// queue, so the count never over-reports into a stale fast path either
+/// (a racing pop may still win the element; the loser's locked re-check
+/// returns null, which is the ordinary lost-race outcome, not a missed
+/// publication). The previous implementation re-stored `size()` on both
+/// paths, which was torn-value-safe only because every store sat under the
+/// lock — fetch_add/fetch_sub pairs make the ordering explicit and keep
+/// the mirror exact under concurrent pushers. (Mid-operation the mirror
+/// may transiently over- or under-shoot by the number of in-flight ops —
+/// size_t wraparound included, which is harmless: a too-large reading only
+/// sends the caller into the locked re-check, a too-small reading is always
+/// an unfinished push whose increment is still coming.)
+///
+/// Pops are amortized O(1): a head cursor walks the vector and storage is
+/// compacted when the dead prefix dominates (the old erase(begin) pop was
+/// O(n) per element under backlog).
+template <class T>
+class InjectQueue {
+ public:
+  void push(T* t) {
+    {
+      SpinGuard g(lock_);
+      items_.push_back(t);
+    }
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  T* pop() {
+    // Empty probe: pairs with push()'s release increment (see above).
+    if (count_.load(std::memory_order_acquire) == 0) return nullptr;
+    T* t;
+    {
+      SpinGuard g(lock_);
+      if (head_ == items_.size()) return nullptr;  // lost the race
+      t = items_[head_++];
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      } else if (head_ >= 64 && head_ * 2 >= items_.size()) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    count_.fetch_sub(1, std::memory_order_release);
+    return t;
+  }
+
+  std::size_t approx_size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  bool approx_empty() const { return approx_size() == 0; }
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<T*> items_;  // FIFO window is [head_, size)
+  std::size_t head_ = 0;
+  std::atomic<std::size_t> count_{0};
+};
+
 }  // namespace tdg

@@ -183,11 +183,47 @@ MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& newer,
   return d;
 }
 
-void MetricsSnapshot::write_text(std::ostream& os, bool nonzero_only) const {
+MetricsSnapshot MetricsSnapshot::merge(const MetricsSnapshot& a,
+                                       const MetricsSnapshot& b) {
+  MetricsSnapshot m = a;
+  if (b.taken_ns > m.taken_ns) m.taken_ns = b.taken_ns;
+  for (const Entry& eb : b.entries) {
+    Entry* ea = nullptr;
+    for (Entry& cand : m.entries) {
+      if (cand.name == eb.name) {
+        ea = &cand;
+        break;
+      }
+    }
+    if (ea == nullptr) {
+      m.entries.push_back(eb);
+      continue;
+    }
+    ea->value += eb.value;
+    ea->level += eb.level;
+    ea->sum += eb.sum;
+    if (ea->buckets.size() < eb.buckets.size()) {
+      ea->buckets.resize(eb.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < eb.buckets.size(); ++i) {
+      ea->buckets[i] += eb.buckets[i];
+    }
+  }
+  return m;
+}
+
+void MetricsSnapshot::write_text(std::ostream& os, bool nonzero_only,
+                                 int tenant) const {
+  std::string dim;
+  if (tenant >= 0) {
+    dim = "{tenant=" + std::to_string(tenant) + "}";
+  }
   for (const Entry& e : entries) {
     if (nonzero_only && e.value == 0 && e.level == 0) continue;
-    os << "  " << e.name;
-    for (std::size_t pad = e.name.size(); pad < 32; ++pad) os << ' ';
+    os << "  " << e.name << dim;
+    for (std::size_t pad = e.name.size() + dim.size(); pad < 32; ++pad) {
+      os << ' ';
+    }
     switch (e.kind) {
       case MetricKind::Counter:
         os << e.value;
@@ -217,8 +253,10 @@ void MetricsSnapshot::write_text(std::ostream& os, bool nonzero_only) const {
   }
 }
 
-void MetricsSnapshot::write_json(std::ostream& os) const {
-  os << "{\"taken_ns\":" << taken_ns << ",\"metrics\":{";
+void MetricsSnapshot::write_json(std::ostream& os, int tenant) const {
+  os << "{\"taken_ns\":" << taken_ns;
+  if (tenant >= 0) os << ",\"tenant\":" << tenant;
+  os << ",\"metrics\":{";
   bool first_entry = true;
   for (const Entry& e : entries) {
     if (!first_entry) os << ',';

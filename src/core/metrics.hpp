@@ -72,11 +72,22 @@ struct MetricsSnapshot {
   static MetricsSnapshot delta(const MetricsSnapshot& newer,
                                const MetricsSnapshot& older);
 
+  /// Element-wise sum of two snapshots, matched by name (union of both
+  /// entry sets). Used by a shared WorkerPool to fold detaching tenants'
+  /// final counters into the aggregate its teardown dump prints, keeping
+  /// untagged totals available next to the per-tenant tagged sections.
+  static MetricsSnapshot merge(const MetricsSnapshot& a,
+                               const MetricsSnapshot& b);
+
   /// Human-readable table. With `nonzero_only`, rows whose value, level
   /// and histogram count are all zero are skipped (watchdog reports).
-  void write_text(std::ostream& os, bool nonzero_only = false) const;
+  /// A non-negative `tenant` appends a `{tenant=<id>}` dimension to every
+  /// metric name (shared-pool per-tenant dumps); -1 keeps the plain names.
+  void write_text(std::ostream& os, bool nonzero_only = false,
+                  int tenant = -1) const;
   /// JSON object: {"taken_ns": ..., "metrics": {"name": {...}, ...}}.
-  void write_json(std::ostream& os) const;
+  /// A non-negative `tenant` adds a top-level "tenant" field.
+  void write_json(std::ostream& os, int tenant = -1) const;
 };
 
 class MetricsRegistry {

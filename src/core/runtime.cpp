@@ -10,14 +10,13 @@
 namespace tdg {
 
 namespace {
-// Thread slot within the owning runtime. Slot 0 is the producer.
-thread_local unsigned tls_slot = 0;
-// Runtime whose team this thread belongs to. Chase-Lev deques have a
-// single-owner bottom end, so push/pop fast paths are only taken when the
-// calling thread verifiably owns the hinted slot *of this runtime* —
-// foreign threads (detach fulfilment from another rank's team, nested
-// runtimes on one thread) go through the inject queue / steal path
-// instead.
+// The runtime this thread is the producer of (the one it constructed most
+// recently and has not destroyed). The submission shard's Chase-Lev bottom
+// is single-owner, so push/pop fast paths are only taken when the calling
+// thread verifiably IS the producer of this runtime — foreign threads
+// (detach fulfilment from another rank's team, nested runtimes on one
+// thread, sibling tenants) go through the inject queue / steal path
+// instead. Pool workers are identified separately (WorkerPool's own TLS).
 thread_local Runtime* tls_runtime = nullptr;
 // Task whose body is executing on this thread (for current_task_event).
 thread_local Task* tls_current_task = nullptr;
@@ -93,12 +92,9 @@ void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       watchdog_(cfg.watchdog),
-      dep_map_(*static_cast<DiscoveryHooks*>(this)),
-      arena_(sizeof(Task), resolve_threads(cfg.num_threads)) {
+      dep_map_(*static_cast<DiscoveryHooks*>(this)) {
   watchdog_.add_diagnostic(
       [this](std::string& out) { runtime_diagnostic(out); });
-  const unsigned n = resolve_threads(cfg_.num_threads);
-  cfg_.num_threads = n;
   // Environment overrides (see Config::metrics): TDG_METRICS gates
   // collection, TDG_TRACE force-enables tracing and selects the teardown
   // export format.
@@ -125,26 +121,39 @@ Runtime::Runtime(Config cfg)
   }
   if (cfg_.verify != VerifyMode::Off) cfg_.trace = true;
   timed_ = metrics_on || cfg_.trace;
+  // Slot layout: 0 is the producer, 1..num_workers are the pool workers —
+  // identical to the pre-pool slot numbering for a solo runtime.
+  const unsigned n = cfg_.pool != nullptr
+                         ? 1 + cfg_.pool->num_workers()
+                         : resolve_threads(cfg_.num_threads);
+  cfg_.num_threads = n;
   metrics_ = std::make_unique<MetricsRegistry>(n, metrics_on);
   m_.register_into(*metrics_);
   dep_map_.bind_metrics(
       metrics_.get(),
       {m_.probe_len, m_.rehash, m_.addr_entries, m_.arena_bytes});
   profiler_ = std::make_unique<Profiler>(n, cfg_.trace);
-  deques_.reserve(n);
-  for (unsigned i = 0; i < n; ++i) {
-    deques_.push_back(std::make_unique<WorkDeque>());
+  tls_runtime = this;  // caller becomes the producer
+  if (cfg_.pool != nullptr) {
+    pool_ = cfg_.pool;
+  } else {
+    // Solo mode: a private pool inheriting this runtime's policy and
+    // thread count. Workers spawn idle (no tenant attached yet); the
+    // metrics/profiler members they attribute into are already built.
+    WorkerPool::Config pc;
+    pc.num_workers = n - 1;
+    pc.policy = cfg_.policy;
+    pc.max_tenants = 1;
+    owned_pool_.reset(new WorkerPool(pc, this));
+    pool_ = owned_pool_.get();
   }
-  victim_rng_ = std::vector<VictimRng>(n);
-  for (unsigned i = 0; i < n; ++i) {
-    victim_rng_[i].s.store(0x9e3779b97f4a7c15ull * (i + 1) + 1,
-                           std::memory_order_relaxed);
-  }
-  tls_slot = 0;  // caller becomes the producer
-  tls_runtime = this;
-  workers_.reserve(n > 0 ? n - 1 : 0);
-  for (unsigned i = 1; i < n; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  try {
+    tenant_id_ = pool_->attach(this, cfg_.tenant);
+  } catch (...) {
+    // Capacity exhausted: unwind the producer identity so the thread can
+    // construct another runtime after catching the UsageError.
+    if (tls_runtime == this) tls_runtime = nullptr;
+    throw;
   }
 }
 
@@ -169,17 +178,19 @@ Runtime::~Runtime() {
     cancelled_.clear();
     has_failures_.store(false, std::memory_order_relaxed);
   }
-  shutdown_.store(true, std::memory_order_release);
-  {
-    // Serialize with a worker between its shutdown re-check and its cv
-    // wait, then wake the whole team for the join.
-    std::lock_guard<std::mutex> g(park_mu_);
-  }
-  park_cv_.notify_all();
-  for (auto& w : workers_) w.join();
   if (tls_runtime == this) tls_runtime = nullptr;
-  finalize_observability();
+  // Leave the pool: workers stop scanning this tenant (detach waits out
+  // any pinned probe). The graph is drained, so no task of this tenant
+  // exists anywhere in the pool.
+  pool_->detach(tenant_id_);
+  // Release the dependency map's holdover task references while the
+  // (possibly private) pool — and with it the slab arena backing the
+  // descriptors — is still alive.
   dep_map_.clear();
+  // Solo mode: tear the private pool down (joins the workers), making the
+  // trace/metrics streams quiescent for the export below.
+  owned_pool_.reset();
+  finalize_observability();
 }
 
 void Runtime::finalize_observability() {
@@ -227,10 +238,16 @@ void Runtime::finalize_observability() {
     }
   }
   if (metrics_dump_ && metrics_->enabled()) {
+    // Shared-pool tenants tag every row with their tenant id (the
+    // `tenant=<id>` dimension); the pool prints the untagged aggregate at
+    // its own teardown, so existing parsers keep seeing plain totals. A
+    // solo runtime's dump is byte-identical to the pre-pool format.
+    const int tenant =
+        cfg_.pool != nullptr ? static_cast<int>(tenant_id_) : -1;
     std::string text;
     {
       std::ostringstream os;
-      metrics_->snapshot().write_text(os, /*nonzero_only=*/true);
+      metrics_->snapshot().write_text(os, /*nonzero_only=*/true, tenant);
       text = os.str();
     }
     std::fprintf(stderr, "tdg: metrics at teardown:\n%s", text.c_str());
@@ -246,11 +263,14 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
               "detach event fulfilled before the task was submitted");
   // Slab allocation: discovery recycles fixed-size blocks instead of
   // paying a global-heap new/delete per task (PTSG replay allocates
-  // nothing either way).
+  // nothing either way). The arena is pool-owned with one allocation shard
+  // per tenant — the producer is the only allocator of its tenant, and
+  // blocks freed by any worker recycle through the remote-free stack.
+  TaskArena& arena = pool_->arena_;
   TaskArena::Source src;
-  void* mem = arena_.allocate(current_slot(), src);
-  Task* t = new (mem)
-      Task(next_task_id_.fetch_add(1, std::memory_order_relaxed), &arena_);
+  void* mem = arena.allocate(tenant_id_, src);
+  Task* t = new (mem) Task(
+      next_task_id_.fetch_add(1, std::memory_order_relaxed), &arena, this);
   if (metrics_->enabled()) switch (src) {
     case TaskArena::Source::Recycled: madd(m_.slab_recycled); break;
     case TaskArena::Source::NewChunk:
@@ -267,8 +287,22 @@ Task* Runtime::allocate_task(const TaskOpts& opts) {
     ++tasks_created_;
     madd(m_.tasks_submitted);
   }
-  pending_.fetch_add(1, std::memory_order_relaxed);
-  live_tasks_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_runtime == this && batch_active_ && !opts.internal) {
+    // Batched submission defers the pending/live publication to
+    // end_batch (one pair of RMWs per batch). Internal redirect nodes
+    // keep immediate accounting — they complete inline mid-batch, and
+    // their decrement must not land before the increment. A batched
+    // task unblocked early (a pool worker completing its predecessor
+    // publishes it directly) can transiently wrap these unsigned
+    // counters until end_batch restores the sum; only this producer
+    // reads them for control flow (drain/throttle run outside a batch),
+    // so the skew is visible to diagnostics alone.
+    ++batch_pending_;
+    ++batch_live_;
+  } else {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    live_tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (opts.detach != nullptr) {
     t->completion_latch.store(2, std::memory_order_relaxed);
     t->detach_event = opts.detach;
@@ -295,14 +329,24 @@ void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
                                deps.size());
   }
   dep_map_.apply(t, deps, cfg_.discovery);
-  const std::uint64_t ts = now_ns();
-  if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
-  discovery_end_ns_ = ts;
+  const bool in_batch = tls_runtime == this && batch_active_;
+  if (!in_batch) {
+    const std::uint64_t ts = now_ns();
+    if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
+    discovery_end_ns_ = ts;
+  } else if (!batch_stamped_) {
+    // One discovery-window stamp per batch instead of one per submit;
+    // end_batch refreshes the end of the window.
+    const std::uint64_t ts = now_ns();
+    if (discovery_begin_ns_ == 0) discovery_begin_ns_ = ts;
+    discovery_end_ns_ = ts;
+    batch_stamped_ = true;
+  }
   // Drop the discovery guard; the task may become ready immediately.
   if (t->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     enqueue_ready(t, current_slot(), /*successor=*/false);
   }
-  throttle(current_slot());
+  if (!in_batch) throttle(current_slot());
 }
 
 EdgeOutcome Runtime::discover_edge(Task* pred, Task* succ) {
@@ -426,83 +470,77 @@ void Runtime::enqueue_ready(Task* t, unsigned thread_hint, bool successor) {
     run_task(t, thread_hint);
     return;
   }
-  // seq_cst: pairs with the parked worker's ready re-check (Dekker) — see
-  // park_worker().
-  ready_count_.fetch_add(1, std::memory_order_seq_cst);
+  // Open batch (producer only — the tls check keeps other threads off the
+  // plain flag): buffer the task; end_batch publishes the whole set with
+  // one ready/mirror/wake round.
+  if (tls_runtime == this && batch_active_) {
+    batch_ready_.push_back(t);
+    return;
+  }
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst: Dekker pairing with a parking pool worker's ready re-check.
+  pool_->ready_inc(1);
   madd(m_.spawns);
   metrics_->gauge_add(m_.ready_depth, +1, thread_hint);
   // Depth-first heuristic: a newly-ready successor goes to the head of the
   // completing thread's deque so it runs right after its producer, while
-  // its data is still cached. Fresh root tasks also go to the head; in
-  // FIFO mode the owner pops from the tail instead. The Chase-Lev bottom
-  // is single-owner, so only the thread that owns the hinted slot may
-  // push there; anyone else (foreign-thread detach fulfilment, nested
-  // runtimes) goes through the inject queue.
+  // its data is still cached. A pool worker pushes to its own pool deque;
+  // the producer pushes to this tenant's submission shard; anyone else
+  // (foreign-thread detach fulfilment, nested runtimes, pool reroutes)
+  // goes through the inject queue.
   (void)successor;
-  if (tls_runtime == this && thread_hint == tls_slot &&
-      thread_hint < deques_.size()) {
-    deques_[thread_hint]->push_front(t);
+  if (pool_->on_pool_worker()) {
+    pool_->push_local(t);
+  } else if (tls_runtime == this) {
+    shard_.push_front(t);
   } else {
     push_inject(t);
   }
-  wake_one_worker();
+  pool_->wake_workers(1, this);
 }
 
-void Runtime::push_inject(Task* t) {
-  SpinGuard g(inject_lock_);
-  inject_.push_back(t);
-  inject_count_.store(inject_.size(), std::memory_order_release);
+void Runtime::push_inject(Task* t) { inject_.push(t); }
+
+Task* Runtime::pop_inject() { return inject_.pop(); }
+
+void Runtime::begin_batch() {
+  TDG_REQUIRE(tls_runtime == this,
+              "begin_batch must be called by the producer thread");
+  TDG_REQUIRE(!batch_active_, "begin_batch: a batch is already open");
+  batch_active_ = true;
+  batch_stamped_ = false;
 }
 
-Task* Runtime::pop_inject() {
-  if (inject_count_.load(std::memory_order_acquire) == 0) return nullptr;
-  SpinGuard g(inject_lock_);
-  if (inject_.empty()) return nullptr;
-  Task* t = inject_.front();
-  inject_.erase(inject_.begin());
-  inject_count_.store(inject_.size(), std::memory_order_release);
-  return t;
-}
-
-void Runtime::wake_one_worker() {
-  // One seq_cst load on the hot enqueue path; the mutex is only touched
-  // when somebody is actually parked. Taking and dropping park_mu_ before
-  // notifying closes the race against a worker that passed its re-check
-  // but has not yet entered cv.wait (it holds the mutex for that window).
-  if (parked_.load(std::memory_order_seq_cst) == 0) return;
-  { std::lock_guard<std::mutex> g(park_mu_); }
-  park_cv_.notify_one();
-  madd(m_.wakeups);
-}
-
-void Runtime::park_worker(unsigned slot) {
-  metrics_->add(m_.parks, 1, slot);
-  std::unique_lock<std::mutex> lk(park_mu_);
-  parked_.fetch_add(1, std::memory_order_seq_cst);
-  // Dekker pairing with enqueue_ready: the producer increments
-  // ready_count_ (seq_cst) and then loads parked_; we increment parked_
-  // and then load ready_count_. At least one side observes the other, so
-  // either the producer notifies or we skip the wait entirely.
-  const bool may_sleep =
-      ready_count_.load(std::memory_order_seq_cst) == 0 &&
-      !shutdown_.load(std::memory_order_acquire);
-  if (may_sleep) {
-    // Bounded wait: parked workers still service the polling hook (MPI
-    // progress, held fault-injection deliveries) and deferred-retry
-    // deadlines at this cadence, and the watchdog's progress epoch keeps
-    // advancing as long as someone executes tasks.
-    std::uint64_t wait_ns = 2'000'000;  // 2 ms
-    const std::uint64_t nd =
-        next_deferred_ns_.load(std::memory_order_relaxed);
-    if (nd != UINT64_MAX) {
-      const std::uint64_t now = now_ns();
-      wait_ns = nd > now ? std::min(wait_ns, nd - now) : 0;
-    }
-    if (wait_ns > 0) {
-      park_cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
-    }
+void Runtime::end_batch() {
+  TDG_REQUIRE(tls_runtime == this,
+              "end_batch must be called by the producer thread");
+  if (!batch_active_) return;
+  batch_active_ = false;
+  const std::uint64_t ts = now_ns();
+  if (batch_stamped_) discovery_end_ns_ = ts;
+  // Publish the deferred pending/live counts BEFORE releasing the tasks:
+  // a worker may pop and complete one immediately, and its decrement must
+  // find the increment already in place.
+  if (batch_pending_ > 0) {
+    pending_.fetch_add(batch_pending_, std::memory_order_relaxed);
+    live_tasks_.fetch_add(batch_live_, std::memory_order_relaxed);
+    batch_pending_ = 0;
+    batch_live_ = 0;
   }
-  parked_.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t k = batch_ready_.size();
+  if (k > 0) {
+    ready_count_.fetch_add(k, std::memory_order_relaxed);
+    pool_->ready_inc(k);  // one Dekker-ordered RMW for the whole batch
+    madd(m_.spawns, k);
+    metrics_->gauge_add(m_.ready_depth, static_cast<std::int64_t>(k), 0);
+    for (Task* t : batch_ready_) {
+      if (timed_) t->t_ready = ts;
+      shard_.push_front(t);
+    }
+    batch_ready_.clear();
+    pool_->wake_workers(k, this);
+  }
+  throttle(0);
 }
 
 void Runtime::run_task(Task* t, unsigned thread) {
@@ -692,23 +730,27 @@ void Runtime::complete_task(Task* t, unsigned thread) {
   if (!keep) t->release();  // drop the self-reference
 }
 
-unsigned Runtime::victim_offset(unsigned slot, unsigned n) {
-  // Per-slot xorshift64; relaxed atomics only to keep TSAN quiet when a
-  // foreign thread probes through a slot it shares with a worker.
-  std::uint64_t x = victim_rng_[slot].s.load(std::memory_order_relaxed);
-  x ^= x << 13;
-  x ^= x >> 7;
-  x ^= x << 17;
-  victim_rng_[slot].s.store(x, std::memory_order_relaxed);
-  return static_cast<unsigned>(x % (n - 1));
+void Runtime::run_from_pool(Task* t, unsigned slot, bool stole,
+                            bool deferred, std::uint64_t t0) {
+  if (stole) metrics_->add(m_.steals, 1, slot);
+  if (!deferred) {
+    // Deferred retries left the ready count when they were first taken;
+    // don't decrement twice.
+    ready_count_.fetch_sub(1, std::memory_order_relaxed);
+    pool_->ready_dec();
+    metrics_->gauge_add(m_.ready_depth, -1, slot);
+  }
+  // t0 was sampled by the pool when ANY attached tenant is timed; only
+  // charge the probe overhead if this one is.
+  if (timed_ && t0 != 0) profiler_->add_overhead(slot, now_ns() - t0);
+  run_task(t, slot);
 }
 
 bool Runtime::try_execute_one(unsigned slot) {
   const std::uint64_t t0 = timed_ ? now_ns() : 0;
-  // Attribution sample, taken once up front: the old code read
-  // ready_count_ *after* the failed probes, so a task enqueued and taken
-  // elsewhere during the scan flipped genuine idle time into
-  // "overhead + steal failure".
+  // Attribution sample, taken once up front: reading it after the failed
+  // probes would flip genuine idle time into "overhead + steal failure"
+  // whenever a task was enqueued and taken elsewhere mid-scan.
   const bool work_existed = ready_count_.load(std::memory_order_relaxed) > 0;
   // Deferred-retry gate inlined here: one relaxed load on the common path
   // (nothing deferred); the queue scan only runs when a deadline is set.
@@ -718,29 +760,20 @@ bool Runtime::try_execute_one(unsigned slot) {
   const bool deferred = t != nullptr;
   bool stole = false;
   if (t == nullptr) {
-    WorkDeque& own = *deques_[slot];
-    if (tls_runtime == this && tls_slot == slot) {
-      t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
-                                                        : own.pop_back();
+    if (tls_runtime == this) {
+      t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? shard_.pop_front()
+                                                        : shard_.pop_back();
     } else {
       // A foreign thread (nested runtime, external helper) must not touch
       // the Chase-Lev bottom; it competes through the steal CAS instead.
-      t = own.steal();
+      t = shard_.steal();
     }
     if (t == nullptr) t = pop_inject();
-    if (t == nullptr) {
-      const unsigned n = num_threads();
-      if (n > 1) {
-        // Random rotation over the other n-1 slots: every victim is
-        // probed exactly once, but the starting point varies so thieves
-        // don't convoy on the same victim.
-        const unsigned start = victim_offset(slot, n);
-        for (unsigned k = 0; k < n - 1 && t == nullptr; ++k) {
-          const unsigned v = (slot + 1 + (start + k) % (n - 1)) % n;
-          t = deques_[v]->steal();
-        }
-        stole = t != nullptr;
-      }
+    if (t == nullptr && pool_->num_workers() > 0) {
+      // Self-help steal from the pool worker deques. Only this tenant's
+      // tasks come back; foreign finds are rerouted to their owner.
+      t = pool_->steal_for(this, producer_rng_);
+      stole = t != nullptr;
     }
   }
   if (t == nullptr) {
@@ -761,42 +794,12 @@ bool Runtime::try_execute_one(unsigned slot) {
     // Deferred retries left the ready count when they were first taken;
     // don't decrement twice.
     ready_count_.fetch_sub(1, std::memory_order_relaxed);
+    pool_->ready_dec();
     metrics_->gauge_add(m_.ready_depth, -1, slot);
   }
   if (timed_) profiler_->add_overhead(slot, now_ns() - t0);
   run_task(t, slot);
   return true;
-}
-
-void Runtime::worker_loop(unsigned slot) {
-  tls_slot = slot;
-  tls_runtime = this;
-  Backoff bo;
-  while (true) {
-    if (try_execute_one(slot)) {
-      bo.reset();
-      continue;
-    }
-    if (shutdown_.load(std::memory_order_acquire)) break;
-    const std::uint64_t t0 = timed_ ? now_ns() : 0;
-    const bool work_existed =
-        ready_count_.load(std::memory_order_relaxed) > 0;
-    poll();
-    if (bo.should_park()) {
-      park_worker(slot);
-    } else {
-      bo.pause();
-    }
-    if (timed_) {
-      const std::uint64_t t1 = now_ns();
-      if (work_existed) {
-        profiler_->add_overhead(slot, t1 - t0);
-      } else {
-        profiler_->add_idle(slot, t1 - t0);
-      }
-    }
-  }
-  tls_runtime = nullptr;
 }
 
 void Runtime::taskwait() {
@@ -809,6 +812,10 @@ void Runtime::taskwait() {
 }
 
 void Runtime::drain() {
+  // A drain inside an open batch would wait forever on buffered tasks;
+  // close the batch first (producer-only state, and drain is documented
+  // producer-only).
+  if (tls_runtime == this && batch_active_) end_batch();
   const unsigned slot = current_slot();
   arm_watchdog_baseline();
   Watchdog::Scope ws(&watchdog_, "taskwait");
@@ -935,7 +942,11 @@ Event* Runtime::current_task_event() const {
 }
 
 unsigned Runtime::current_slot() const {
-  return tls_slot < deques_.size() ? tls_slot : 0u;
+  // Pool workers occupy slots 1..num_workers (metrics shards, profiler
+  // attribution); every other thread — the producer, external helpers —
+  // maps to slot 0, exactly as in the pre-pool numbering.
+  if (pool_->on_pool_worker()) return 1 + WorkerPool::calling_slot();
+  return 0;
 }
 
 void Runtime::arm_watchdog_baseline() {
@@ -947,10 +958,9 @@ void Runtime::arm_watchdog_baseline() {
 }
 
 void Runtime::runtime_diagnostic(std::string& out) const {
-  out += "\n  live tasks: " + std::to_string(live_tasks()) + " (ready " +
+  out += "\n  tenant " + std::to_string(tenant_id_) +
+         ": live tasks: " + std::to_string(live_tasks()) + " (ready " +
          std::to_string(ready_tasks()) + ")";
-  out += "\n  parked workers: " +
-         std::to_string(parked_.load(std::memory_order_relaxed));
   {
     SpinGuard dg(deferred_lock_);
     if (!deferred_.empty()) {

@@ -5,21 +5,27 @@
 // the overlap whose speed balance the paper studies. Workers use per-thread
 // deques with work stealing; the depth-first LIFO policy pushes newly-ready
 // successors to the head of the completing thread's deque (cache reuse).
+//
+// Multi-tenancy (see core/worker_pool.hpp): the worker team lives in a
+// WorkerPool that N runtimes may share. A Runtime is then a thin per-tenant
+// front end — discovery state, PTSG, verifier, metrics namespace, watchdog,
+// submission shard, inject and deferred queues, throttle quota — while the
+// pool owns threads, worker deques, parking and victim selection. A solo
+// Runtime (Config::pool == nullptr) constructs a private pool and behaves
+// exactly as the single-team runtime always did.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/common.hpp"
 #include "core/depend.hpp"
+#include "core/deque.hpp"
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/profiler.hpp"
@@ -29,6 +35,7 @@
 #include "core/trace_export.hpp"
 #include "core/verify.hpp"
 #include "core/watchdog.hpp"
+#include "core/worker_pool.hpp"
 
 namespace tdg {
 
@@ -101,9 +108,18 @@ struct RuntimeStats {
   }
 };
 
-/// Dependent-task runtime. One instance owns a worker team; the thread that
-/// constructs it becomes thread slot 0, the producer, which discovers the
-/// graph and helps execute during taskwait and when throttled.
+/// One element of a submit_batch call: a task body plus its depend clause.
+template <class F>
+struct BatchItem {
+  F fn;
+  DependList deps;
+  TaskOpts opts{};
+};
+
+/// Dependent-task runtime. One instance owns a worker team (or attaches to
+/// a shared WorkerPool as one tenant); the thread that constructs it
+/// becomes thread slot 0, the producer, which discovers the graph and helps
+/// execute during taskwait and when throttled.
 class Runtime : public DiscoveryHooks {
  public:
   struct Config {
@@ -127,6 +143,17 @@ class Runtime : public DiscoveryHooks {
     /// VerifyError. The TDG_VERIFY environment variable (off|post|strict)
     /// overrides this field.
     VerifyMode verify = VerifyMode::Off;
+    /// Attach to a shared WorkerPool (multi-tenant mode) instead of
+    /// constructing a private worker team. The pool must outlive the
+    /// runtime. With a shared pool `num_threads` is ignored (the pool
+    /// sizes the team) and `throttle` becomes this tenant's admission
+    /// quota: when the tenant's own ready/total backlog exceeds it, its
+    /// producer stops discovering and executes its own tasks — other
+    /// tenants are unaffected.
+    WorkerPool* pool = nullptr;
+    /// Per-tenant scheduling options (weight for weighted-fair stealing).
+    /// Only meaningful with a shared pool.
+    TenantOptions tenant;
   };
 
   Runtime() : Runtime(Config{}) {}
@@ -178,6 +205,38 @@ class Runtime : public DiscoveryHooks {
       submit([body, lo, hi] { body(lo, hi); },
              std::span<const Depend>(deps.data(), deps.size()), opts);
     }
+  }
+
+  /// Batched submission: open one discovery episode covering every submit
+  /// until end_batch(). Per-submit costs that exist only to publish tasks
+  /// promptly — the discovery-window clock stamp, the ready-count and
+  /// pool-mirror RMWs, the parked-worker probe, the throttle check — are
+  /// deferred and paid once per batch; tasks that become ready inside the
+  /// batch are buffered producer-locally and released together. Discovery
+  /// itself (hash probes, edge wiring) is identical to the loop of
+  /// submit() calls, so the resulting TDG is the same — `TDG_VERIFY=strict`
+  /// equivalence is part of the test suite. Producer-only, like submit.
+  void begin_batch();
+  /// Publish everything buffered since begin_batch() and resume immediate
+  /// mode. Implicitly called by taskwait()/drain if a batch is open.
+  void end_batch();
+
+  /// Submit a vector of clause sets as one discovery episode (sugar over
+  /// begin_batch / submit loop / end_batch). Bodies are moved out of the
+  /// items; deps are read in place.
+  template <class F>
+  void submit_batch(std::span<BatchItem<F>> items) {
+    begin_batch();
+    for (auto& it : items) {
+      submit(std::move(it.fn),
+             std::span<const Depend>(it.deps.data(), it.deps.size()),
+             it.opts);
+    }
+    end_batch();
+  }
+  template <class F>
+  void submit_batch(std::vector<BatchItem<F>>& items) {
+    submit_batch(std::span<BatchItem<F>>(items.data(), items.size()));
   }
 
   /// Wait until every submitted task has completed; the calling thread
@@ -248,13 +307,22 @@ class Runtime : public DiscoveryHooks {
   bool has_failures() const {
     return has_failures_.load(std::memory_order_acquire);
   }
-  unsigned num_threads() const {
-    return static_cast<unsigned>(deques_.size());
-  }
-  /// The slab arena backing task descriptors (leak checks in tests:
-  /// live_blocks() returns to the dependency map's holdover count after a
-  /// drain, and to zero after clear_dependency_scope()).
-  const TaskArena& task_arena() const { return arena_; }
+  /// Execution slots visible to this runtime: slot 0 (the producer) plus
+  /// one per pool worker. For a solo runtime this equals the configured
+  /// thread count, exactly as before the pool split.
+  unsigned num_threads() const { return 1 + pool_->num_workers(); }
+  /// The worker pool executing this runtime's tasks (private for a solo
+  /// runtime, shared across tenants otherwise).
+  WorkerPool& pool() { return *pool_; }
+  const WorkerPool& pool() const { return *pool_; }
+  /// This runtime's tenant slot in the pool (allocation shard index,
+  /// fairness accounting key, `tenant=<id>` metrics dimension).
+  unsigned tenant_id() const { return tenant_id_; }
+  /// The slab arena backing task descriptors — owned by the pool, one
+  /// allocation shard per tenant (leak checks in tests: live_blocks()
+  /// returns to the dependency map's holdover count after a drain, and to
+  /// zero after clear_dependency_scope()).
+  const TaskArena& task_arena() const { return pool_->arena(); }
   /// The producer's access-history table (tests / tools: table capacity,
   /// live entries, rehash count, arena footprint).
   const DependencyMap& dependency_map() const { return dep_map_; }
@@ -280,6 +348,7 @@ class Runtime : public DiscoveryHooks {
  private:
   friend class PersistentRegion;
   friend class Event;
+  friend class WorkerPool;
 
   Task* allocate_task(const TaskOpts& opts);
   void finish_submission(Task* t, std::span<const Depend> deps);
@@ -328,15 +397,15 @@ class Runtime : public DiscoveryHooks {
   /// Pop one deferred task whose deadline has passed (nullptr if none).
   Task* take_due_deferred();
   /// Cross-thread ready-queue: enqueues from threads that do not own the
-  /// hinted deque (e.g. an external thread fulfilling a detach event).
+  /// hinted deque (e.g. an external thread fulfilling a detach event, or
+  /// a pool reroute of a foreign task).
   void push_inject(Task* t);
   Task* pop_inject();
-  /// Worker idle parking (spin ladder exhausted): wait on the team
-  /// condition variable until work may exist, bounded so the polling hook
-  /// and deferred deadlines are still serviced.
-  void park_worker(unsigned slot);
-  /// Wake one parked worker if any (called after publishing ready work).
-  void wake_one_worker();
+  /// Pool-worker entry: account for the acquisition (steal / deferred /
+  /// ready bookkeeping, probe-overhead attribution since `t0`) and run the
+  /// task on slot `slot`.
+  void run_from_pool(Task* t, unsigned slot, bool stole, bool deferred,
+                     std::uint64_t t0);
   void record_failure(Task* t, std::exception_ptr err, std::uint32_t tries);
   void record_cancelled(Task* t);
   /// taskwait minus the failure rethrow (used by destructors, which must
@@ -346,12 +415,10 @@ class Runtime : public DiscoveryHooks {
   /// clears the recorded state first (the runtime stays usable).
   void throw_if_failed();
   void runtime_diagnostic(std::string& out) const;
-  /// Try to obtain and run one task from the calling slot; returns false
-  /// if none was available anywhere.
+  /// Producer/taskwait self-help: obtain and run one of THIS runtime's
+  /// tasks from the calling thread; returns false if none was available
+  /// (pool workers use WorkerPool::try_execute_one instead).
   bool try_execute_one(unsigned thread);
-  /// Random starting rotation for the victim scan (requires n > 1).
-  unsigned victim_offset(unsigned slot, unsigned n);
-  void worker_loop(unsigned slot);
   void throttle(unsigned thread);
   void poll();
   unsigned current_slot() const;
@@ -393,33 +460,40 @@ class Runtime : public DiscoveryHooks {
   std::unique_ptr<Profiler> profiler_;
   Watchdog watchdog_;
   DependencyMap dep_map_;
-  /// Slab arena for task descriptors; declared before the deques so any
-  /// straggling release during member teardown still finds it alive.
-  TaskArena arena_;
-  std::vector<std::unique_ptr<WorkDeque>> deques_;
-  /// Per-slot xorshift state for randomized victim selection (relaxed
-  /// atomics: external threads may share slot 0's stream).
-  struct alignas(kCacheLine) VictimRng {
-    std::atomic<std::uint64_t> s;
-  };
-  std::vector<VictimRng> victim_rng_;
-  std::vector<std::thread> workers_;
+  /// Private pool of a solo runtime (Config::pool == nullptr). Destroyed
+  /// explicitly at the end of ~Runtime, after every task reference has
+  /// been released back into the pool-owned arena.
+  std::unique_ptr<WorkerPool> owned_pool_;
+  /// The pool this runtime is attached to (owned_pool_.get() or
+  /// Config::pool). Always non-null after construction.
+  WorkerPool* pool_ = nullptr;
+  unsigned tenant_id_ = 0;
+  /// This tenant's submission shard: the producer pushes/pops the bottom,
+  /// pool workers and sibling producers steal the top.
+  WorkDeque shard_;
+  /// Producer-side xorshift state for randomized steal scans (atomic:
+  /// external submitter threads may share the stream).
+  std::atomic<std::uint64_t> producer_rng_{0x9e3779b97f4a7c15ull};
   std::vector<std::unique_ptr<Event>> events_;
   mutable SpinLock events_lock_;  // also taken by the watchdog diagnostic
 
-  // Worker parking: spin-then-yield-then-park. parked_ is read with a
-  // seq_cst load on every enqueue (the Dekker pairing with the parking
-  // worker's ready_count_ re-check), the mutex+cv only on the idle path.
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
-  std::atomic<unsigned> parked_{0};
-
   /// Injected ready tasks from threads that do not own a deque slot
-  /// (detach fulfilment from foreign threads, nested-runtime producers).
-  mutable SpinLock inject_lock_;
-  std::vector<Task*> inject_;
-  /// Size mirror of inject_ so the hot probe skips the lock when empty.
-  std::atomic<std::size_t> inject_count_{0};
+  /// (detach fulfilment from foreign threads, nested-runtime producers,
+  /// pool reroutes of this tenant's tasks found in sibling shards). The
+  /// queue's lock-free count mirror is release/acquire-paired so the
+  /// empty-probe fast path never misses a published inject.
+  InjectQueue<Task> inject_;
+
+  // Batched submission (begin_batch/end_batch, producer-only). Tasks that
+  // become ready inside a batch are buffered here and published together;
+  // pending_/live_tasks_ increments of non-internal tasks are deferred
+  // alongside (internal redirect nodes keep immediate accounting — they
+  // can complete inline during the batch).
+  bool batch_active_ = false;
+  bool batch_stamped_ = false;  ///< discovery-begin stamped for this batch
+  std::vector<Task*> batch_ready_;
+  std::size_t batch_pending_ = 0;
+  std::size_t batch_live_ = 0;
 
   /// Deferred retry queue: tasks waiting out a retry backoff without
   /// occupying a worker. Tiny (one entry per in-flight flaky task), so a
@@ -441,7 +515,6 @@ class Runtime : public DiscoveryHooks {
   std::shared_ptr<const std::function<void()>> polling_hook_;
   mutable SpinLock hook_lock_;
 
-  std::atomic<bool> shutdown_{false};
   std::atomic<std::size_t> pending_{0};     ///< submitted, not finished
   std::atomic<std::size_t> live_tasks_{0};  ///< descriptors alive (throttle)
   std::atomic<std::size_t> ready_count_{0};

@@ -24,6 +24,11 @@ enum class SchedulePolicy : std::uint8_t {
 /// MPC-OMP bound on all co-existing tasks, ready or not (default 10,000,000
 /// in the paper). When a bound is exceeded the producer thread stops
 /// discovering and executes tasks instead.
+///
+/// Under a shared WorkerPool these bounds double as the tenant's admission
+/// quota: each runtime counts only its own ready/live tasks against its own
+/// config, and a throttled tenant's producer self-helps on that tenant's
+/// work alone — one tenant exceeding its quota never stalls another.
 struct ThrottleConfig {
   std::size_t max_ready = std::numeric_limits<std::size_t>::max();
   std::size_t max_total = 10'000'000;

@@ -23,6 +23,14 @@
 // inside the measured region and dwarfs the allocator work it replaces.
 // PTSG replay is untouched by design: replayed iterations allocate no
 // descriptors at all.
+//
+// Ownership: the task arena belongs to the WorkerPool, not to individual
+// runtimes. Each tenant allocates from its own shard (shard = tenant id),
+// so discovery stays single-threaded per shard even with many tenants, and
+// per-tenant accounting falls out of the shard split. The pool outlives
+// every attached tenant (Runtime::~Runtime detaches before the pool dies),
+// which is what lets a tenant's in-flight tasks be freed by pool workers
+// after the tenant's own front end has been torn down to the drain point.
 #pragma once
 
 #include <atomic>
@@ -197,6 +205,9 @@ class TaskArena {
   }
 
   std::size_t block_bytes() const { return block_bytes_; }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
   /// Blocks currently handed out (allocated minus freed) — the leak check
   /// used by the churn test: zero once every task descriptor was released.
   std::size_t live_blocks() const {
@@ -207,6 +218,17 @@ class TaskArena {
     SpinGuard g(chunks_lock_);
     return chunks_.size();
   }
+  /// Chunks carved on behalf of one shard — per-tenant memory attribution
+  /// under a shared pool (shard = tenant id). Racy-by-design read of the
+  /// owner-thread counter; monitoring only.
+  std::size_t chunks_carved(unsigned shard) const {
+    return shard < shards_.size() ? shards_[shard].carved : 0;
+  }
+  /// Blocks a shard ever carved fresh (recycles not included): an upper
+  /// bound on the tenant's descriptor footprint.
+  std::size_t blocks_carved(unsigned shard) const {
+    return chunks_carved(shard) * kBlocksPerChunk;
+  }
 
  private:
   struct FreeNode {
@@ -216,6 +238,7 @@ class TaskArena {
     FreeNode* local = nullptr;        // owner-thread only
     unsigned char* bump = nullptr;    // owner-thread only
     unsigned char* bump_end = nullptr;
+    std::size_t carved = 0;           // chunks this shard triggered
   };
 
   void carve_chunk(Shard& s) {
@@ -230,6 +253,7 @@ class TaskArena {
     }
     s.bump = static_cast<unsigned char*>(chunk);
     s.bump_end = s.bump + bytes;
+    ++s.carved;
   }
 
   const std::size_t block_bytes_;

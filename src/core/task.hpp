@@ -211,12 +211,22 @@ class Task {
   static constexpr std::size_t kInlineSuccessors = 4;
   using SuccessorList = small_vector<Task*, kInlineSuccessors>;
 
-  explicit Task(std::uint64_t id, TaskArena* arena = nullptr)
-      : id_(id), arena_(arena) {}
+  explicit Task(std::uint64_t id, TaskArena* arena = nullptr,
+                Runtime* owner = nullptr)
+      : id_(id), arena_(arena), owner_(owner) {}
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
 
   std::uint64_t id() const noexcept { return id_; }
+
+  /// The tenant runtime this task belongs to. Shared-pool workers execute
+  /// tasks of many tenants and dispatch completion/metrics/poisoning
+  /// through this backpointer; a pending task keeps its runtime alive (the
+  /// runtime's destructor drains before detaching from the pool), so the
+  /// pointer is valid for as long as the task is reachable from any queue.
+  /// Null only for plain-heap descriptors constructed outside a runtime
+  /// (tests).
+  Runtime* owner() const noexcept { return owner_; }
 
   // --- descriptor reference counting -------------------------------------
   void retain() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
@@ -350,6 +360,7 @@ class Task {
 
   const std::uint64_t id_;
   TaskArena* arena_ = nullptr;  // recycle target; nullptr = plain heap
+  Runtime* owner_ = nullptr;    // owning tenant runtime (see owner())
   std::atomic<std::int32_t> refs_{1};
 
   SpinLock succ_lock_;

@@ -98,6 +98,7 @@ void TelemetryHub::write_json(std::ostream& os,
       first = false;
       os << "\n{\"t_ns\":" << s.t_ns
          << ",\"tasks_executed\":" << s.tasks_executed
+         << ",\"tasks_ready\":" << s.tasks_ready
          << ",\"sends\":" << s.sends << ",\"recvs\":" << s.recvs
          << ",\"bytes_sent\":" << s.bytes_sent
          << ",\"allreduces\":" << s.allreduces

@@ -27,6 +27,7 @@ namespace tdg {
 struct TelemetrySample {
   std::uint64_t t_ns = 0;           ///< sample timestamp
   std::uint64_t tasks_executed = 0; ///< runtime exec.tasks counter
+  std::uint64_t tasks_ready = 0;    ///< ready backlog at sample time
   std::uint64_t sends = 0;
   std::uint64_t recvs = 0;
   std::uint64_t bytes_sent = 0;

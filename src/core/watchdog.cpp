@@ -25,10 +25,16 @@ void Watchdog::remove_diagnostic(std::uint64_t token) {
 
 std::string Watchdog::build_report(const char* what,
                                    double stalled_seconds) const {
-  char head[128];
-  std::snprintf(head, sizeof head,
-                "watchdog: no progress for %.3fs while waiting in %s",
-                stalled_seconds, what);
+  char head[160];
+  if (name_.empty()) {
+    std::snprintf(head, sizeof head,
+                  "watchdog: no progress for %.3fs while waiting in %s",
+                  stalled_seconds, what);
+  } else {
+    std::snprintf(head, sizeof head,
+                  "watchdog [%s]: no progress for %.3fs while waiting in %s",
+                  name_.c_str(), stalled_seconds, what);
+  }
   std::string report = head;
   std::lock_guard<std::mutex> g(mu_);
   for (const auto& [token, diag] : diags_) {

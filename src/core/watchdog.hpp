@@ -54,6 +54,12 @@ class Watchdog {
   /// Replace the configuration. Call only while no wait is armed.
   void configure(WatchdogConfig cfg) { cfg_ = std::move(cfg); }
 
+  /// Label prepended to reports ("tenant 3" under a shared pool), so a
+  /// hang report from one of many runtimes names which front end stalled.
+  /// Set once at attach time, before any wait is armed.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const noexcept { return name_; }
+
   /// Record forward progress (any thread, hot path).
   void note_progress() noexcept {
     progress_.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +97,7 @@ class Watchdog {
 
  private:
   WatchdogConfig cfg_;
+  std::string name_;
   std::atomic<std::uint64_t> progress_{0};
   mutable std::mutex mu_;  // diagnostics registry
   std::vector<std::pair<std::uint64_t, Diagnostic>> diags_;

@@ -1,0 +1,473 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "core/task.hpp"
+
+namespace tdg {
+
+thread_local WorkerPool* WorkerPool::tls_pool = nullptr;
+thread_local unsigned WorkerPool::tls_pool_slot = 0;
+
+namespace {
+unsigned resolve_workers(unsigned n) {
+  if (n != WorkerPool::kAutoWorkers) return n;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return hw - 1;  // the tenants' producer threads supply the rest
+}
+
+unsigned clamp_tenants(unsigned n) {
+  if (n == 0) n = 1;
+  return std::min(n, WorkerPool::kMaxTenantCap);
+}
+}  // namespace
+
+WorkerPool::WorkerPool(Config cfg) : WorkerPool(cfg, nullptr) {}
+
+WorkerPool::WorkerPool(Config cfg, Runtime* solo)
+    : cfg_(cfg),
+      solo_(solo),
+      arena_(sizeof(Task), clamp_tenants(cfg.max_tenants)),
+      tenants_(clamp_tenants(cfg.max_tenants)) {
+  cfg_.max_tenants = static_cast<unsigned>(tenants_.size());
+  cfg_.num_workers = resolve_workers(cfg_.num_workers);
+  metrics_dump_ = metrics_env_mode() == MetricsEnvMode::Dump;
+  const unsigned nw = cfg_.num_workers;
+  deques_.reserve(nw);
+  for (unsigned i = 0; i < nw; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  rng_ = std::vector<Rng>(nw);
+  for (unsigned i = 0; i < nw; ++i) {
+    // Worker i occupies what used to be runtime slot i+1; seed the same
+    // xorshift stream the pre-pool runtime used for that slot.
+    rng_[i].s.store(0x9e3779b97f4a7c15ull * (i + 2) + 1,
+                    std::memory_order_relaxed);
+  }
+  workers_.reserve(nw);
+  for (unsigned i = 0; i < nw; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  TDG_CHECK(tenant_count_.load(std::memory_order_acquire) == 0,
+            "WorkerPool destroyed with tenants still attached");
+  shutdown_.store(true, std::memory_order_release);
+  {
+    // Serialize with a worker between its shutdown re-check and its cv
+    // wait, then wake the whole team for the join.
+    std::lock_guard<std::mutex> g(park_mu_);
+  }
+  park_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  if (metrics_dump_ && aggregate_any_ && solo_ == nullptr) {
+    std::string text;
+    {
+      std::ostringstream os;
+      aggregate_.write_text(os, /*nonzero_only=*/true);
+      text = os.str();
+    }
+    std::fprintf(stderr, "tdg: pool aggregate metrics at teardown:\n%s",
+                 text.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant lifecycle
+// ---------------------------------------------------------------------------
+
+unsigned WorkerPool::attach(Runtime* rt, const TenantOptions& opts) {
+  SpinGuard g(tenants_lock_);
+  unsigned id = static_cast<unsigned>(tenants_.size());
+  for (unsigned i = 0; i < tenants_.size(); ++i) {
+    // Acquire on both: everything the detacher and the last pinned
+    // workers did to this slot (wd_token read, vruntime charge) must
+    // happen-before the re-initialization below overwrites it.
+    if (tenants_[i].rt.load(std::memory_order_acquire) == nullptr &&
+        tenants_[i].pins.load(std::memory_order_acquire) == 0) {
+      id = i;
+      break;
+    }
+  }
+  TDG_REQUIRE(id < tenants_.size(),
+              "WorkerPool: tenant capacity exhausted (raise "
+              "Config::max_tenants)");
+  TenantSlot& slot = tenants_[id];
+  slot.weight.store(std::max(1u, opts.weight),
+                    std::memory_order_relaxed);
+  // A newcomer starts at the minimum vruntime of the active tenants: it is
+  // immediately the preferred victim (it has been served least) without
+  // being owed the pool's entire service history.
+  std::uint64_t vmin = UINT64_MAX;
+  for (const TenantSlot& s : tenants_) {
+    if (s.rt.load(std::memory_order_relaxed) != nullptr) {
+      vmin = std::min(vmin, s.vruntime.load(std::memory_order_relaxed));
+    }
+  }
+  slot.vruntime.store(vmin == UINT64_MAX ? 0 : vmin,
+                      std::memory_order_relaxed);
+  slot.served.store(0, std::memory_order_relaxed);
+  // Per-tenant hang isolation: the pool state is appended to this tenant's
+  // OWN watchdog report — a wedged tenant trips its own deadline with the
+  // pool context attached, without flagging (or being masked by) siblings.
+  // Solo runtimes keep the unlabelled report text they have always emitted.
+  if (solo_ == nullptr) {
+    rt->watchdog_.set_name("tenant " + std::to_string(id));
+  }
+  slot.wd_token = rt->watchdog_.add_diagnostic(
+      [this](std::string& out) { diagnostic(out); });
+  if (rt->timed_) timed_tenants_.fetch_add(1, std::memory_order_relaxed);
+  slot.rt.store(rt, std::memory_order_seq_cst);
+  const unsigned hi = tenant_high_.load(std::memory_order_relaxed);
+  if (id + 1 > hi) tenant_high_.store(id + 1, std::memory_order_release);
+  tenant_count_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void WorkerPool::detach(unsigned id) {
+  if (id >= tenants_.size()) return;
+  TenantSlot& slot = tenants_[id];
+  Runtime* rt = slot.rt.load(std::memory_order_relaxed);
+  if (rt == nullptr) return;
+  rt->watchdog_.remove_diagnostic(slot.wd_token);
+  // Publish the vacancy, then wait out every worker still inside its
+  // pinned window: either the worker's seq_cst rt load sees the nullptr,
+  // or this seq_cst pins load sees the worker's increment.
+  slot.rt.store(nullptr, std::memory_order_seq_cst);
+  Backoff bo;
+  while (slot.pins.load(std::memory_order_seq_cst) != 0) bo.pause();
+  if (solo_ == nullptr && rt->metrics_->enabled()) {
+    fold_aggregate(rt->metrics_->snapshot());
+  }
+  if (rt->timed_) timed_tenants_.fetch_sub(1, std::memory_order_relaxed);
+  tenant_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void WorkerPool::fold_aggregate(const MetricsSnapshot& snap) {
+  SpinGuard g(agg_lock_);
+  if (!aggregate_any_) {
+    aggregate_ = snap;
+    aggregate_any_ = true;
+  } else {
+    aggregate_ = MetricsSnapshot::merge(aggregate_, snap);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work publication
+// ---------------------------------------------------------------------------
+
+void WorkerPool::push_local(Task* t) {
+  TDG_DCHECK(on_pool_worker(), "push_local from a non-pool thread");
+  deques_[tls_pool_slot]->push_front(t);
+}
+
+void WorkerPool::wake_workers(std::size_t n, Runtime* waker) {
+  if (n == 0) return;
+  // One seq_cst load on the hot publish path; the mutex is only touched
+  // when somebody is actually parked. Taking and dropping park_mu_ before
+  // notifying closes the race against a worker that passed its re-check
+  // but has not yet entered cv.wait (it holds the mutex for that window).
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  { std::lock_guard<std::mutex> g(park_mu_); }
+  if (n == 1) {
+    park_cv_.notify_one();
+  } else {
+    park_cv_.notify_all();
+  }
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  if (waker != nullptr) waker->madd(waker->m_.wakeups);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+unsigned WorkerPool::rng_next(std::atomic<std::uint64_t>& state, unsigned n) {
+  std::uint64_t x = state.load(std::memory_order_relaxed);
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  state.store(x, std::memory_order_relaxed);
+  return static_cast<unsigned>(x % n);
+}
+
+Task* WorkerPool::poll_tenant(Runtime* r, bool& stole, bool& deferred) {
+  Task* t = r->shard_.steal();
+  if (t != nullptr) {
+    stole = true;
+    return t;
+  }
+  t = r->pop_inject();
+  if (t != nullptr) return t;
+  if (r->next_deferred_ns_.load(std::memory_order_relaxed) != UINT64_MAX) {
+    t = r->take_due_deferred();
+    if (t != nullptr) {
+      deferred = true;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+Task* WorkerPool::take_tenant_work(unsigned slot, Runtime*& owner,
+                                   bool& stole, bool& deferred) {
+  (void)slot;
+  const unsigned hi = std::min<unsigned>(
+      tenant_high_.load(std::memory_order_acquire),
+      static_cast<unsigned>(tenants_.size()));
+  if (hi == 0) return nullptr;
+  // Weighted-fair scan: probe tenants in ascending-vruntime order, so the
+  // least-served (per weight) tenant with backlog is preferred. The racy
+  // vruntime reads only affect probe ORDER; every attached tenant is
+  // probed at most once per scan (64-bit visited mask).
+  std::uint64_t visited = 0;
+  for (;;) {
+    unsigned best = hi;
+    std::uint64_t bestv = UINT64_MAX;
+    for (unsigned i = 0; i < hi; ++i) {
+      if ((visited >> i) & 1u) continue;
+      TenantSlot& ts = tenants_[i];
+      if (ts.rt.load(std::memory_order_relaxed) == nullptr) {
+        visited |= 1ull << i;
+        continue;
+      }
+      const std::uint64_t v = ts.vruntime.load(std::memory_order_relaxed);
+      if (v <= bestv) {
+        bestv = v;
+        best = i;
+      }
+    }
+    if (best >= hi) return nullptr;
+    visited |= 1ull << best;
+    TenantSlot& ts = tenants_[best];
+    // Pin protocol (Dekker with detach): pin BEFORE loading rt, both
+    // seq_cst. A non-null load means the detacher has not yet passed its
+    // pins==0 spin, so the runtime stays alive for this probe. The unpin
+    // is a release so the detacher's pins==0 observation orders every
+    // probe-side read before the teardown that follows it. Executing the
+    // task after unpinning is safe without the pin: a popped task is
+    // pending, and its owner's destructor drains pending work before it
+    // can detach (try_execute_one re-pins around the execution so the
+    // post-completion epilogue cannot outlive the tenant either).
+    ts.pins.fetch_add(1, std::memory_order_seq_cst);
+    Runtime* r = ts.rt.load(std::memory_order_seq_cst);
+    Task* t = r != nullptr ? poll_tenant(r, stole, deferred) : nullptr;
+    ts.pins.fetch_sub(1, std::memory_order_release);
+    if (t != nullptr) {
+      owner = r;
+      return t;
+    }
+  }
+}
+
+Task* WorkerPool::steal_for(Runtime* self, std::atomic<std::uint64_t>& rng) {
+  const unsigned n = static_cast<unsigned>(deques_.size());
+  if (n == 0) return nullptr;
+  const unsigned start = n > 1 ? rng_next(rng, n) : 0;
+  for (unsigned k = 0; k < n; ++k) {
+    WorkDeque& dq = *deques_[(start + k) % n];
+    for (;;) {
+      Task* t = dq.steal();
+      if (t == nullptr) break;
+      if (t->owner() == self) return t;
+      // Tenant isolation: a self-helping producer never executes another
+      // tenant's task. Hand it back through the owner's inject queue (it
+      // stays findable by the fair scan) and keep probing this deque.
+      foreign_reroutes_.fetch_add(1, std::memory_order_relaxed);
+      t->owner()->push_inject(t);
+      wake_workers(1, nullptr);
+    }
+  }
+  return nullptr;
+}
+
+void WorkerPool::note_served(unsigned id) {
+  if (id >= tenants_.size()) return;
+  TenantSlot& ts = tenants_[id];
+  ts.served.fetch_add(1, std::memory_order_relaxed);
+  ts.vruntime.fetch_add(
+      kVrUnit / std::max(1u, ts.weight.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
+}
+
+bool WorkerPool::try_execute_one(unsigned slot) {
+  Runtime* const s = solo_;
+  // The probe-overhead clock reads are only paid when some attached tenant
+  // consumes them (metrics or tracing enabled).
+  const bool timed = timed_tenants_.load(std::memory_order_relaxed) > 0;
+  const std::uint64_t t0 = timed ? now_ns() : 0;
+  // Attribution sample, taken once up front: reading it after the failed
+  // probes would flip genuine idle time into "overhead + steal failure"
+  // whenever a task was enqueued and taken elsewhere mid-scan.
+  const bool work_existed = ready_.load(std::memory_order_relaxed) > 0;
+  Runtime* owner = nullptr;
+  bool stole = false;
+  bool deferred = false;
+  // 1) Own deque: depth-first cache reuse — successors this worker pushed
+  //    while completing its previous task.
+  WorkDeque& own = *deques_[slot];
+  Task* t = cfg_.policy == SchedulePolicy::DepthFirstLifo ? own.pop_front()
+                                                          : own.pop_back();
+  // 2) Weighted-fair tenant scan (shards, injects, due deferred retries).
+  if (t == nullptr) t = take_tenant_work(slot, owner, stole, deferred);
+  // 3) Randomized steal from sibling workers.
+  if (t == nullptr && deques_.size() > 1) {
+    const unsigned n = static_cast<unsigned>(deques_.size());
+    const unsigned start = rng_next(rng_[slot].s, n - 1);
+    for (unsigned k = 0; k < n - 1 && t == nullptr; ++k) {
+      const unsigned v = (slot + 1 + (start + k) % (n - 1)) % n;
+      t = deques_[v]->steal();
+    }
+    stole = t != nullptr;
+  }
+  if (t == nullptr) {
+    if (timed && s != nullptr) {
+      const std::uint64_t t1 = now_ns();
+      if (work_existed) {
+        s->profiler_->add_overhead(1 + slot, t1 - t0);
+        // Work existed somewhere but every probe came up empty.
+        s->metrics_->add(s->m_.steal_failures, 1, 1 + slot);
+      } else {
+        s->profiler_->add_idle(1 + slot, t1 - t0);
+      }
+    }
+    if (work_existed) steal_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (owner == nullptr) owner = t->owner();
+  TDG_DCHECK(owner != nullptr, "pool task without an owning runtime");
+  // Pin the tenant for the WHOLE execution, not just the poll: run_task's
+  // post-completion epilogue (overhead attribution, metrics) touches the
+  // owner after the publication that lets its drain return, so an unpinned
+  // epilogue races the tenant's destructor. The owner cannot detach
+  // between acquiring the task and this pin — the un-completed task keeps
+  // its drain from returning — so no rt re-check is needed.
+  TenantSlot& ts = tenants_[owner->tenant_id_];
+  ts.pins.fetch_add(1, std::memory_order_seq_cst);
+  note_served(owner->tenant_id_);
+  owner->run_from_pool(t, 1 + slot, stole, deferred, t0);
+  ts.pins.fetch_sub(1, std::memory_order_seq_cst);
+  return true;
+}
+
+void WorkerPool::poll_tenants() {
+  const unsigned hi = std::min<unsigned>(
+      tenant_high_.load(std::memory_order_acquire),
+      static_cast<unsigned>(tenants_.size()));
+  for (unsigned i = 0; i < hi; ++i) {
+    TenantSlot& ts = tenants_[i];
+    if (ts.rt.load(std::memory_order_relaxed) == nullptr) continue;
+    ts.pins.fetch_add(1, std::memory_order_seq_cst);
+    Runtime* r = ts.rt.load(std::memory_order_seq_cst);
+    if (r != nullptr) r->poll();
+    ts.pins.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void WorkerPool::park_worker(unsigned slot) {
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  if (solo_ != nullptr) {
+    solo_->metrics_->add(solo_->m_.parks, 1, 1 + slot);
+  }
+  std::unique_lock<std::mutex> lk(park_mu_);
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker pairing with ready_inc: a publisher increments ready_ (seq_cst)
+  // and then loads parked_; we increment parked_ and then load ready_. At
+  // least one side observes the other, so either the publisher notifies or
+  // we skip the wait entirely.
+  const bool may_sleep = ready_.load(std::memory_order_seq_cst) == 0 &&
+                         !shutdown_.load(std::memory_order_acquire);
+  if (may_sleep) {
+    // Bounded wait: parked workers still service the tenants' polling
+    // hooks (MPI progress, held fault-injection deliveries) and
+    // deferred-retry deadlines at this cadence.
+    std::uint64_t wait_ns = 2'000'000;  // 2 ms
+    const unsigned hi = std::min<unsigned>(
+        tenant_high_.load(std::memory_order_acquire),
+        static_cast<unsigned>(tenants_.size()));
+    for (unsigned i = 0; i < hi; ++i) {
+      TenantSlot& ts = tenants_[i];
+      if (ts.rt.load(std::memory_order_relaxed) == nullptr) continue;
+      ts.pins.fetch_add(1, std::memory_order_seq_cst);
+      Runtime* r = ts.rt.load(std::memory_order_seq_cst);
+      if (r != nullptr) {
+        const std::uint64_t nd =
+            r->next_deferred_ns_.load(std::memory_order_relaxed);
+        if (nd != UINT64_MAX) {
+          const std::uint64_t now = now_ns();
+          wait_ns = nd > now ? std::min(wait_ns, nd - now) : 0;
+        }
+      }
+      ts.pins.fetch_sub(1, std::memory_order_release);
+    }
+    if (wait_ns > 0) {
+      park_cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
+    }
+  }
+  parked_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void WorkerPool::worker_loop(unsigned slot) {
+  tls_pool = this;
+  tls_pool_slot = slot;
+  Backoff bo;
+  while (true) {
+    if (try_execute_one(slot)) {
+      bo.reset();
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    Runtime* const s = solo_;
+    const std::uint64_t t0 = (s != nullptr && s->timed_) ? now_ns() : 0;
+    const bool work_existed = ready_.load(std::memory_order_relaxed) > 0;
+    poll_tenants();
+    if (bo.should_park()) {
+      park_worker(slot);
+    } else {
+      bo.pause();
+    }
+    if (t0 != 0) {
+      const std::uint64_t t1 = now_ns();
+      if (work_existed) {
+        s->profiler_->add_overhead(1 + slot, t1 - t0);
+      } else {
+        s->profiler_->add_idle(1 + slot, t1 - t0);
+      }
+    }
+  }
+  tls_pool = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+void WorkerPool::diagnostic(std::string& out) const {
+  out += "\n  pool: " + std::to_string(num_workers()) + " workers, " +
+         std::to_string(tenant_count()) + " tenants, " +
+         std::to_string(parked()) + " parked, ready mirror " +
+         std::to_string(ready_.load(std::memory_order_relaxed));
+  const unsigned hi = std::min<unsigned>(
+      tenant_high_.load(std::memory_order_acquire),
+      static_cast<unsigned>(tenants_.size()));
+  for (unsigned i = 0; i < hi; ++i) {
+    const TenantSlot& ts = tenants_[i];
+    if (ts.rt.load(std::memory_order_relaxed) == nullptr) continue;
+    out += "\n  pool tenant " + std::to_string(i) + ": served " +
+           std::to_string(ts.served.load(std::memory_order_relaxed)) +
+           ", weight " +
+           std::to_string(ts.weight.load(std::memory_order_relaxed)) +
+           ", vruntime " +
+           std::to_string(ts.vruntime.load(std::memory_order_relaxed) /
+                          kVrUnit);
+  }
+}
+
+}  // namespace tdg

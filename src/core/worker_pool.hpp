@@ -1,0 +1,251 @@
+// Process-wide elastic worker pool shared by N logical runtimes (tenants).
+//
+// The paper's model is one runtime owning one thread team per rank. The
+// production-service regime ("millions of users" sharing one process) needs
+// the opposite split: many thin per-tenant front ends — discovery state,
+// PTSG, verifier, metrics namespace, watchdog — submitting into ONE team of
+// workers, so N tenants do not mean N x oversubscribed threads and idle
+// cycles of one tenant absorb the bursts of another.
+//
+// Ownership split:
+//   * WorkerPool owns the threads, the per-worker Chase-Lev deques, the
+//     parking lot (mutex/cv + Dekker-paired ready mirror) and the task-
+//     descriptor slab arena (one allocation shard per tenant, recycled
+//     cross-tenant through the arena's remote-free stack).
+//   * Runtime keeps its submission shard (a Chase-Lev deque whose bottom
+//     only the producer touches), inject queue, deferred-retry queue,
+//     throttle quota, metrics/profiler/watchdog and all discovery state.
+//
+// Work acquisition of a pool worker: own deque first (depth-first cache
+// reuse), then a weighted-fair scan of the tenant table (the tenant with
+// the minimum virtual runtime — served/weight — is preferred, so a starved
+// tenant's shard is the first victim), then a randomized steal from sibling
+// workers. Tenant producers never steal other tenants' work: a foreign task
+// found while self-helping is rerouted to its owner's inject queue.
+//
+// A solo Runtime (no Config::pool) constructs a private pool inheriting its
+// policy and thread count, and behaves exactly as the pre-pool runtime —
+// same slots, same metrics attribution, same parking cadence.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+#include "core/slab.hpp"
+
+namespace tdg {
+
+class Runtime;
+class Task;
+
+/// Per-tenant scheduling options, supplied at attach time
+/// (Runtime::Config::tenant).
+struct TenantOptions {
+  /// Weighted-fair share of pool worker time relative to other tenants.
+  /// A tenant of weight 2 is served twice as often as a weight-1 tenant
+  /// when both have backlog (min-vruntime victim selection).
+  std::uint32_t weight = 1;
+};
+
+class WorkerPool {
+ public:
+  /// Sentinel: size the pool to hardware_concurrency - 1 workers.
+  static constexpr unsigned kAutoWorkers = ~0u;
+  /// Tenant-table capacity ceiling (the fair scan uses a 64-bit visited
+  /// mask, and per-slot pin counters are scanned on detach).
+  static constexpr unsigned kMaxTenantCap = 64;
+
+  struct Config {
+    /// Worker threads owned by the pool (the tenants' producer threads are
+    /// additional). 0 is valid: tenants execute everything themselves.
+    unsigned num_workers = kAutoWorkers;
+    /// Pop policy of the pool-worker deques. Private (solo) pools inherit
+    /// the owning runtime's policy.
+    SchedulePolicy policy = SchedulePolicy::DepthFirstLifo;
+    /// Tenant slots (attach beyond this fails). Clamped to kMaxTenantCap.
+    unsigned max_tenants = 16;
+  };
+
+  // Delegation instead of a `= Config()` default argument: NSDMIs of a
+  // nested aggregate are not usable in the enclosing class's default
+  // arguments until the enclosing class is complete (mem-init lists are).
+  WorkerPool() : WorkerPool(Config()) {}
+  explicit WorkerPool(Config cfg);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  unsigned max_tenants() const {
+    return static_cast<unsigned>(tenants_.size());
+  }
+  unsigned tenant_count() const {
+    return tenant_count_.load(std::memory_order_relaxed);
+  }
+  /// Tasks a pool worker executed on behalf of tenant `id` (fairness
+  /// accounting; tenant producers self-helping are not counted).
+  std::uint64_t served(unsigned id) const {
+    return id < tenants_.size()
+               ? tenants_[id].served.load(std::memory_order_relaxed)
+               : 0;
+  }
+  unsigned parked() const { return parked_.load(std::memory_order_relaxed); }
+  /// Pool-wide ready mirror (sum of attached tenants' ready backlogs).
+  std::size_t ready() const {
+    return ready_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steal_failure_count() const {
+    return steal_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t park_count() const {
+    return parks_.load(std::memory_order_relaxed);
+  }
+  /// Foreign tasks a self-helping producer handed back to their owner's
+  /// inject queue instead of executing (tenant isolation).
+  std::uint64_t foreign_reroutes() const {
+    return foreign_reroutes_.load(std::memory_order_relaxed);
+  }
+  /// The shared slab arena backing every tenant's task descriptors
+  /// (leak checks: live_blocks() is zero once all tenants drained).
+  const TaskArena& arena() const { return arena_; }
+
+  /// Human-readable pool state (appended to every tenant's watchdog
+  /// report, so a wedged tenant's diagnostic shows whether the pool —
+  /// or just that tenant — is starved).
+  void diagnostic(std::string& out) const;
+
+ private:
+  friend class Runtime;
+
+  /// Private-pool constructor: `solo` is the single owning runtime, which
+  /// restores the pre-pool exact metrics/profiler attribution for parks,
+  /// wakeups, steal failures and idle time.
+  WorkerPool(Config cfg, Runtime* solo);
+
+  // --- tenant lifecycle (Runtime ctor/dtor) -------------------------------
+  unsigned attach(Runtime* rt, const TenantOptions& opts);
+  void detach(unsigned id);
+
+  // --- work publication (Runtime::enqueue_ready / end_batch) --------------
+  /// seq_cst: the Dekker pairing with a parking worker's ready re-check.
+  void ready_inc(std::size_t n) {
+    ready_.fetch_add(n, std::memory_order_seq_cst);
+  }
+  void ready_dec() { ready_.fetch_sub(1, std::memory_order_relaxed); }
+  /// Push to the calling pool worker's own deque (requires the calling
+  /// thread to be a worker of this pool — see on_pool_worker()).
+  void push_local(Task* t);
+  /// True when the calling thread is one of this pool's workers.
+  bool on_pool_worker() const { return tls_pool == this; }
+  /// Calling worker's slot (valid only when on_pool_worker()).
+  static unsigned calling_slot() { return tls_pool_slot; }
+  /// Wake up to `n` parked workers after publishing ready work; wakeups
+  /// are attributed to `waker`'s metrics namespace (may be null).
+  void wake_workers(std::size_t n, Runtime* waker);
+
+  // --- execution (pool worker side) ---------------------------------------
+  bool try_execute_one(unsigned slot);
+  /// Weighted-fair tenant scan: probe tenants in ascending vruntime order
+  /// (shard steal, then inject, then due deferred retries). On success the
+  /// owner is pinned-safe to run (a pending task keeps its runtime alive).
+  Task* take_tenant_work(unsigned slot, Runtime*& owner, bool& stole,
+                         bool& deferred);
+  /// Probe one pinned tenant for work.
+  static Task* poll_tenant(Runtime* r, bool& stole, bool& deferred);
+  /// Producer-side steal from the pool worker deques. Only tasks owned by
+  /// `self` are returned; foreign tasks are rerouted to their owner's
+  /// inject queue (bounded displacement, preserves tenant isolation).
+  Task* steal_for(Runtime* self, std::atomic<std::uint64_t>& rng);
+  void note_served(unsigned id);
+  void worker_loop(unsigned slot);
+  void park_worker(unsigned slot);
+  /// Run every attached tenant's polling hook (MPI progress etc.) from an
+  /// idle worker.
+  void poll_tenants();
+  static unsigned rng_next(std::atomic<std::uint64_t>& state, unsigned n);
+  /// Fold a detaching tenant's final counters into the pool aggregate
+  /// (TDG_METRICS=dump prints it at pool teardown, keeping aggregate
+  /// totals available next to the per-tenant tagged sections).
+  void fold_aggregate(const MetricsSnapshot& snap);
+
+  struct alignas(kCacheLine) TenantSlot {
+    /// Published with release at attach; workers pin (pins++) BEFORE
+    /// loading rt (both seq_cst), detach stores nullptr (seq_cst) and then
+    /// spins until pins drain — either the worker sees the nullptr or the
+    /// detacher sees the pin.
+    std::atomic<Runtime*> rt{nullptr};
+    std::atomic<int> pins{0};
+    std::atomic<std::uint64_t> served{0};
+    /// Virtual runtime, fixed-point: += kVrUnit / weight per served task.
+    std::atomic<std::uint64_t> vruntime{0};
+    /// Relaxed: note_served runs after the pinned poll (and on steal
+    /// paths with no pin), so a recycling attach can race it — a stale
+    /// read only mischarges a single serve.
+    std::atomic<std::uint32_t> weight{1};
+    std::uint64_t wd_token = 0;  // pool diagnostic in the tenant's watchdog
+  };
+  static constexpr std::uint64_t kVrUnit = 1u << 16;
+
+  Config cfg_;
+  /// Non-null for private pools: the one runtime that owns us, enabling
+  /// the exact pre-pool attribution of parks/idle/steal-failures.
+  Runtime* const solo_;
+  /// Shared descriptor arena, one allocation shard per tenant slot (the
+  /// producer is the only allocator of its tenant). Freed blocks recycle
+  /// across tenants through the arena's remote-free stack.
+  TaskArena arena_;
+  std::vector<std::unique_ptr<WorkDeque>> deques_;  // one per worker
+  struct alignas(kCacheLine) Rng {
+    std::atomic<std::uint64_t> s;
+  };
+  std::vector<Rng> rng_;
+  std::vector<TenantSlot> tenants_;
+  std::atomic<unsigned> tenant_count_{0};
+  /// Scan bound: one past the highest slot ever attached.
+  std::atomic<unsigned> tenant_high_{0};
+  SpinLock tenants_lock_;
+  /// Count of attached tenants with timing enabled: workers only pay the
+  /// probe-overhead clock reads when somebody consumes them.
+  std::atomic<int> timed_tenants_{0};
+
+  std::vector<std::thread> workers_;
+
+  // Parking: spin-then-yield-then-park, same ladder as the pre-pool
+  // runtime. parked_ is read seq_cst on every enqueue (Dekker pairing
+  // with ready_).
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<unsigned> parked_{0};
+  std::atomic<std::size_t> ready_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Pool-level counters. For private pools these are mirrored into the
+  // solo tenant's sched.* metrics so the pre-pool dump stays identical.
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> steal_failures_{0};
+  std::atomic<std::uint64_t> foreign_reroutes_{0};
+
+  /// Aggregate of detached tenants' final metric snapshots
+  /// (TDG_METRICS=dump prints it when the pool is destroyed).
+  mutable SpinLock agg_lock_;
+  MetricsSnapshot aggregate_;
+  bool aggregate_any_ = false;
+  bool metrics_dump_ = false;
+
+  static thread_local WorkerPool* tls_pool;
+  static thread_local unsigned tls_pool_slot;
+};
+
+}  // namespace tdg

@@ -189,6 +189,7 @@ void RequestPoller::maybe_sample_telemetry() {
   TelemetrySample s;
   s.t_ns = now;
   s.tasks_executed = rt_->metrics().read(m_exec_tasks_);
+  s.tasks_ready = rt_->ready_tasks();
   s.sends = cs.sends;
   s.recvs = cs.recvs;
   s.bytes_sent = cs.bytes_sent;

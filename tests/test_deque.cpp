@@ -130,6 +130,115 @@ TEST(ChaseLevDequeStress, ExactlyOnceUnderConcurrentSteals) {
   }
 }
 
+TEST(InjectQueue, FifoOrderSingleThread) {
+  tdg::InjectQueue<int> q;
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.approx_empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  q.push(&a);
+  q.push(&b);
+  q.push(&c);
+  EXPECT_EQ(q.approx_size(), 3u);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_EQ(q.pop(), &c);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.approx_empty());
+}
+
+TEST(InjectQueue, HeadCursorCompactsLongStreams) {
+  tdg::InjectQueue<int> q;
+  std::vector<int> items(10000);
+  // Interleave so the head cursor runs far ahead of the tail repeatedly,
+  // crossing the compaction threshold many times.
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    q.push(&items[i]);
+    if (i % 3 != 0) {
+      ASSERT_EQ(q.pop(), &items[popped]);
+      ++popped;
+    }
+  }
+  while (int* p = q.pop()) {
+    ASSERT_EQ(p, &items[popped]);
+    ++popped;
+  }
+  EXPECT_EQ(popped, items.size());
+  EXPECT_TRUE(q.approx_empty());
+}
+
+// The satellite regression for the count-mirror ordering: the push must
+// publish the element BEFORE the release increment, and the consumer's
+// acquire read of a nonzero count must therefore always find the element
+// under the lock — the empty-probe fast path may never lose a published
+// inject. Multi-producer / multi-consumer, exactly once, run under TSAN
+// and ASAN by scripts/ci_sanitize.sh.
+TEST(InjectQueueStress, CountMirrorNeverLosesAPublishedInject) {
+  constexpr int kPerProducer = 20000;
+  constexpr unsigned kProducers = 4;
+  constexpr unsigned kConsumers = 3;
+  constexpr int kItems = kPerProducer * static_cast<int>(kProducers);
+  tdg::InjectQueue<int> q;
+  std::vector<int> items(kItems);
+  std::vector<std::atomic<int>> claims(kItems);
+  for (auto& c : claims) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> taken{0};
+
+  std::vector<std::thread> consumers;
+  for (unsigned i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        if (int* p = q.pop()) {
+          const auto idx = static_cast<std::size_t>(p - items.data());
+          ASSERT_LT(idx, items.size());
+          EXPECT_EQ(claims[idx].fetch_add(1, std::memory_order_relaxed), 0)
+              << "element " << idx << " claimed twice";
+          taken.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (unsigned pi = 0; pi < kProducers; ++pi) {
+    producers.emplace_back([&, pi] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(&items[static_cast<std::size_t>(pi) * kPerProducer + i]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(taken.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claims[i].load(), 1) << "element " << i;
+  }
+}
+
+// Single consumer: once the mirror says non-empty, pop() must deliver —
+// nobody else can take the element, so a nullptr here would mean the
+// count was published before the element (the ordering bug this guards).
+TEST(InjectQueueStress, NonEmptyProbeAlwaysDeliversToSoleConsumer) {
+  constexpr int kItems = 50000;
+  tdg::InjectQueue<int> q;
+  std::vector<int> items(kItems);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(&items[i]);
+  });
+  int got = 0;
+  while (got < kItems) {
+    if (!q.approx_empty()) {
+      int* p = q.pop();
+      ASSERT_NE(p, nullptr) << "non-empty probe lost a published inject";
+      ASSERT_EQ(p, &items[got]);  // FIFO across the push stream
+      ++got;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
 TEST(TaskArena, RecyclesThroughRemoteFreeStack) {
   TaskArena arena(/*block_bytes=*/48, /*nshards=*/2);
   TaskArena::Source src;
