@@ -5,10 +5,17 @@
 #      container toolchain is gcc-only).
 #   2. The verifier self-tests (tests/test_verify): seeded determinacy
 #      races, PTSG drift, lint findings, reachability corner cases.
-#   3. TDG_VERIFY=strict runs of the application test suites: any
+#   3. The online race-detector self-tests (tests/test_race): seeded
+#      edge drops caught at discovery time, strict escalation, sampling
+#      determinism, range-overlap flags, tenant isolation.
+#   4. TDG_VERIFY=strict runs of the application test suites: any
 #      conflicting access pair the discovered graph fails to order throws
 #      VerifyError at the next taskwait and fails the run.
-#   4. tdg-trace verify / tdg-lint smoke on a freshly recorded trace.
+#   5. A TDG_RACE=sample multitenant_soak pass: the production-shaped
+#      sampling configuration must stay flag-free under concurrent
+#      submitters on a shared pool.
+#   6. tdg-trace verify / race / tdg-lint smoke on a freshly recorded
+#      trace.
 #
 # Usage: scripts/ci_static.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -24,8 +31,8 @@ cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 
 echo "=== [static] build ==="
 cmake --build "$dir" -j "$jobs" \
-      --target test_verify test_cholesky test_lulesh test_taskbench \
-               tdg-trace cholesky_demo
+      --target test_verify test_race test_cholesky test_lulesh \
+               test_taskbench tdg-trace cholesky_demo multitenant_soak
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== [static] clang-tidy ==="
@@ -40,10 +47,19 @@ fi
 echo "=== [static] verifier self-tests ==="
 "$dir"/tests/test_verify
 
+echo "=== [static] race-detector self-tests ==="
+"$dir"/tests/test_race
+
 echo "=== [static] TDG_VERIFY=strict application suites ==="
 TDG_VERIFY=strict "$dir"/tests/test_cholesky
 TDG_VERIFY=strict "$dir"/tests/test_lulesh
 TDG_VERIFY=strict "$dir"/tests/test_taskbench
+
+echo "=== [static] TDG_RACE=strict application suites ==="
+TDG_RACE=strict "$dir"/tests/test_taskbench
+
+echo "=== [static] TDG_RACE=sample multitenant soak ==="
+TDG_RACE=sample "$dir"/examples/multitenant_soak --tenants 4 --graphs 200
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -56,6 +72,9 @@ echo "=== [static] record a verification trace (cholesky_demo) ==="
 
 echo "=== [static] tdg-trace verify ==="
 "$dir"/tools/tdg-trace verify "$trace"
+
+echo "=== [static] tdg-trace race ==="
+"$dir"/tools/tdg-trace race "$trace"
 
 echo "=== [static] tdg-lint (strict) ==="
 "$dir"/tools/tdg-lint "$trace" --strict

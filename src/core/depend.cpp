@@ -68,11 +68,16 @@ DependencyMap::AddrEntry& DependencyMap::lookup(const void* addr) {
 }
 
 void DependencyMap::edge(Task* pred, Task* succ,
-                         const DiscoveryOptions& opts) {
+                         const DiscoveryOptions& opts, const void* addr) {
   // Seeded fault (verifier self-tests): the Nth discovery silently
   // vanishes, exactly as if the clause that would have produced it were
-  // missing from the program.
+  // missing from the program. The drop is logged with both endpoint ids
+  // so it stays attributable under batch submission, where the whole
+  // batch shares one discovery window and the Nth edge call corresponds
+  // to no single submit index.
   if (opts.seed_drop_edge != 0 && ++edge_calls_ == opts.seed_drop_edge) {
+    dropped_edges_.push_back(
+        DroppedEdge{edge_calls_, pred->id(), succ->id(), addr});
     return;
   }
   switch (hooks_->discover_edge(pred, succ)) {
@@ -87,7 +92,8 @@ void DependencyMap::edge(Task* pred, Task* succ,
 // generation this is either one edge through the redirect node (optimization
 // (c)) or one edge per generation member.
 void DependencyMap::edges_from_mod(AddrEntry& e, Task* succ,
-                                   const DiscoveryOptions& opts) {
+                                   const DiscoveryOptions& opts,
+                                   const void* addr) {
   // If succ itself is a member of the open generation (inoutset + in on
   // the same address in one clause), routing through a redirect node would
   // create an indirect self-cycle (succ -> R -> succ); use direct edges,
@@ -106,14 +112,14 @@ void DependencyMap::edges_from_mod(AddrEntry& e, Task* succ,
       // edge below (which will then be correctly pruned).
       r->retain();
       ++episode_stats_.redirect_nodes;
-      for (Task* m : e.last_mod) edge(m, r, opts);
+      for (Task* m : e.last_mod) edge(m, r, opts, addr);
       hooks_->seal_internal_node(r);
       e.redirect = r;
     }
-    edge(e.redirect, succ, opts);
+    edge(e.redirect, succ, opts, addr);
     return;
   }
-  for (Task* m : e.last_mod) edge(m, succ, opts);
+  for (Task* m : e.last_mod) edge(m, succ, opts, addr);
 }
 
 // Install `task` as the unique last writer, releasing the previous history.
@@ -137,15 +143,15 @@ void DependencyMap::apply(Task* task, std::span<const Depend> deps,
       case DependType::In:
         // Ordered after the last modifying access only; transitivity covers
         // anything earlier.
-        edges_from_mod(e, task, opts);
+        edges_from_mod(e, task, opts, d.addr);
         retain_into(e.readers, task);
         break;
 
       case DependType::Out:
       case DependType::InOut:
         // Ordered after the last modifying access and all reads since.
-        edges_from_mod(e, task, opts);
-        for (Task* r : e.readers) edge(r, task, opts);
+        edges_from_mod(e, task, opts, d.addr);
+        for (Task* r : e.readers) edge(r, task, opts, d.addr);
         become_writer(e, task);
         break;
 
@@ -172,8 +178,8 @@ void DependencyMap::apply(Task* task, std::span<const Depend> deps,
         // A member is ordered after the generation base and any reader that
         // arrived while the generation was open (OpenMP 5.1: inoutset
         // depends on prior in/out/inout accesses, not prior inoutset).
-        for (Task* b : e.gen_base) edge(b, task, opts);
-        for (Task* r : e.readers) edge(r, task, opts);
+        for (Task* b : e.gen_base) edge(b, task, opts, d.addr);
+        for (Task* r : e.readers) edge(r, task, opts, d.addr);
         retain_into(e.last_mod, task);
         break;
     }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/depend_types.hpp"
 #include "core/metrics.hpp"
@@ -34,9 +35,21 @@ struct DiscoveryOptions {
   /// spirit of the MPI substrate's FaultPlan): when nonzero, the Nth edge
   /// discovery of the map's lifetime (1-based, counting every would-be
   /// hooks call) is silently dropped — the runtime neither orders nor
-  /// records it, exactly what a missing depend clause would cause. Never
+  /// records it, exactly what a missing depend clause would cause. The
+  /// drop is logged in DependencyMap::dropped_edges() with both endpoint
+  /// ids and the clause address, so tests remain able to attribute it even
+  /// under batch submission (where one discovery window covers the whole
+  /// batch and the Nth edge call maps to no single submit index). Never
   /// set outside tests.
   std::uint64_t seed_drop_edge = 0;
+};
+
+/// One edge suppressed by DiscoveryOptions::seed_drop_edge.
+struct DroppedEdge {
+  std::uint64_t nth = 0;      ///< 1-based lifetime edge-call position
+  std::uint64_t pred_id = 0;
+  std::uint64_t succ_id = 0;
+  const void* addr = nullptr; ///< clause address whose history produced it
 };
 
 /// Counters describing one discovery episode.
@@ -134,6 +147,12 @@ class DependencyMap {
   /// accumulate across scopes.
   const DiscoveryStats& episode_stats() const { return episode_stats_; }
 
+  /// Edges suppressed by seed_drop_edge over the map's lifetime (survives
+  /// clear(), like edge_calls_: the fault targets a lifetime position).
+  const std::vector<DroppedEdge>& dropped_edges() const {
+    return dropped_edges_;
+  }
+
   std::size_t tracked_addresses() const { return size_; }
   std::size_t table_capacity() const { return cap_; }
   /// AddrEntry blocks currently handed out by the arena (leak checks:
@@ -186,11 +205,15 @@ class DependencyMap {
   /// arena — so no task reference is touched during a rehash.
   void grow_table();
 
-  void edges_from_mod(AddrEntry& e, Task* succ, const DiscoveryOptions& opts);
+  void edges_from_mod(AddrEntry& e, Task* succ, const DiscoveryOptions& opts,
+                      const void* addr);
   void become_writer(AddrEntry& e, Task* task);
   /// All edge discovery funnels through here: applies the seeded-drop
   /// fault (verifier self-tests) and folds the outcome into episode_stats_.
-  void edge(Task* pred, Task* succ, const DiscoveryOptions& opts);
+  /// `addr` is the clause address whose history produced the edge — only
+  /// used to attribute seeded drops.
+  void edge(Task* pred, Task* succ, const DiscoveryOptions& opts,
+            const void* addr);
   static void retain_into(TaskList& v, Task* t) {
     t->retain();
     v.push_back(t);
@@ -215,6 +238,7 @@ class DependencyMap {
   std::uint64_t rehashes_ = 0;
   DiscoveryStats episode_stats_;   ///< reset by clear()
   std::uint64_t edge_calls_ = 0;  ///< lifetime counter for seed_drop_edge
+  std::vector<DroppedEdge> dropped_edges_;  ///< lifetime log (see accessor)
   MetricsRegistry* mreg_ = nullptr;
   MetricIds mids_{};
 };

@@ -17,12 +17,16 @@ enum class DependType : std::uint8_t {
 };
 
 /// One item of a task's depend clause: a base address plus an access type.
-/// Only the address identity matters (OpenMP list-item base rule); ranges
-/// are not modelled, exactly as in the paper's applications which depend on
-/// block base addresses.
+/// Discovery matches on address identity only (OpenMP list-item base rule),
+/// exactly as in the paper's applications which depend on block base
+/// addresses. `bytes` is an optional extent annotation consumed by the
+/// online race detector's interval shadow table and by the clause lint's
+/// overlapping-range check; 0 means "identity only" and keeps the legacy
+/// aggregate initializers `{addr, type}` valid.
 struct Depend {
   const void* addr = nullptr;
   DependType type = DependType::In;
+  std::uint32_t bytes = 0;
 
   static constexpr Depend in(const void* a) { return {a, DependType::In}; }
   static constexpr Depend out(const void* a) { return {a, DependType::Out}; }
@@ -31,6 +35,18 @@ struct Depend {
   }
   static constexpr Depend inoutset(const void* a) {
     return {a, DependType::InOutSet};
+  }
+  static constexpr Depend in(const void* a, std::uint32_t n) {
+    return {a, DependType::In, n};
+  }
+  static constexpr Depend out(const void* a, std::uint32_t n) {
+    return {a, DependType::Out, n};
+  }
+  static constexpr Depend inout(const void* a, std::uint32_t n) {
+    return {a, DependType::InOut, n};
+  }
+  static constexpr Depend inoutset(const void* a, std::uint32_t n) {
+    return {a, DependType::InOutSet, n};
   }
 
   friend bool operator==(const Depend&, const Depend&) = default;

@@ -28,7 +28,7 @@ void Profiler::record_accesses(std::uint64_t task_id, const char* label,
   for (std::size_t i = 0; i < n; ++i) {
     accesses_.push_back(AccessRecord{
         task_id, reinterpret_cast<std::uint64_t>(deps[i].addr), deps[i].type,
-        label != nullptr ? label : ""});
+        deps[i].bytes, label != nullptr ? label : ""});
   }
 }
 

@@ -62,6 +62,7 @@ struct AccessRecord {
   std::uint64_t task_id = 0;
   std::uint64_t addr = 0;
   DependType type = DependType::In;
+  std::uint32_t bytes = 0;  ///< clause extent annotation (0 = identity only)
   const char* label = "";
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -87,6 +88,11 @@ void RuntimeMetricIds::register_into(MetricsRegistry& reg) {
   replay_tasks = reg.counter("persistent.replay_tasks");
   replay_bytes = reg.counter("persistent.memcpy_bytes");
   iterations = reg.counter("persistent.iterations");
+  race_checks = reg.counter("race.checks");
+  race_flags = reg.counter("race.flags");
+  race_tracked = reg.counter("race.tracked_tasks");
+  race_escalations = reg.counter("race.escalations");
+  race_shadow = reg.gauge("race.shadow_entries");
 }
 
 Runtime::Runtime(Config cfg)
@@ -120,6 +126,12 @@ Runtime::Runtime(Config cfg)
     case VerifyEnvMode::Default: break;
   }
   if (cfg_.verify != VerifyMode::Off) cfg_.trace = true;
+  // TDG_RACE (off|sample|strict) replaces Config::race when set. Strict
+  // escalation replays the offline verifier over the profiler streams at
+  // the next taskwait, so it forces trace capture on; sample mode stays
+  // capture-free (the detector's own state is all it needs).
+  if (std::getenv("TDG_RACE") != nullptr) cfg_.race = race_env_options();
+  if (cfg_.race.mode == RaceMode::Strict) cfg_.trace = true;
   timed_ = metrics_on || cfg_.trace;
   // Slot layout: 0 is the producer, 1..num_workers are the pool workers —
   // identical to the pre-pool slot numbering for a solo runtime.
@@ -133,6 +145,9 @@ Runtime::Runtime(Config cfg)
       metrics_.get(),
       {m_.probe_len, m_.rehash, m_.addr_entries, m_.arena_bytes});
   profiler_ = std::make_unique<Profiler>(n, cfg_.trace);
+  if (cfg_.race.mode != RaceMode::Off) {
+    race_ = std::make_unique<RaceDetector>(cfg_.race, n);
+  }
   tls_runtime = this;  // caller becomes the producer
   if (cfg_.pool != nullptr) {
     pool_ = cfg_.pool;
@@ -171,6 +186,7 @@ Runtime::~Runtime() {
   // Last verification chance for graphs never followed by a taskwait;
   // destructors cannot throw, so strict mode degrades to the stderr report.
   verify_now(/*allow_throw=*/false);
+  race_now(/*allow_throw=*/false);
   // Failures no caller waited for can no longer be thrown; drop them.
   {
     SpinGuard g(failures_lock_);
@@ -329,6 +345,14 @@ void Runtime::finish_submission(Task* t, std::span<const Depend> deps) {
                                deps.size());
   }
   dep_map_.apply(t, deps, cfg_.discovery);
+  // Race sampling decision, made after apply so every edge of this task
+  // has already joined the clocks, and before the guard drop below so the
+  // npredecessors acq_rel chain publishes race_clock (and the record it
+  // points at) to whichever worker starts the task.
+  if (race_ != nullptr && !deps.empty()) {
+    t->race_clock = race_->on_task_discovered(t->id(), deps.data(),
+                                              deps.size(), t->opts.label);
+  }
   const bool in_batch = tls_runtime == this && batch_active_;
   if (!in_batch) {
     const std::uint64_t ts = now_ns();
@@ -359,6 +383,10 @@ EdgeOutcome Runtime::discover_edge(Task* pred, Task* succ) {
     return EdgeOutcome::Duplicate;  // optimization (b): O(1) dedup
   }
   pred->last_successor_id = succ->id();
+  // Clock join covers every non-duplicate outcome below — including
+  // Pruned, whose ordering is real even though no runtime edge is needed.
+  // A Duplicate was joined when the pair was first discovered.
+  if (race_ != nullptr) race_->on_edge(pred->id(), succ->id());
   // The successor's count must be raised BEFORE the edge is published:
   // otherwise a predecessor completing in between decrements a count that
   // does not yet include this edge, reaching zero early (the discovery
@@ -454,6 +482,9 @@ void Runtime::clear_dependency_scope() {
   if (profiler_->trace_enabled()) {
     profiler_->record_scope_clear(
         next_task_id_.load(std::memory_order_relaxed) - 1);
+  }
+  if (race_ != nullptr) {
+    race_->on_scope_clear(next_task_id_.load(std::memory_order_relaxed) - 1);
   }
 }
 
@@ -556,6 +587,13 @@ void Runtime::run_task(Task* t, unsigned thread) {
   } else {
     t->state.store(TaskState::Running, std::memory_order_relaxed);
     watchdog_.note_progress();
+    // Shadow check-then-install at the start boundary: of any unordered
+    // conflicting pair, the later-starting task sees the earlier one's
+    // entry. Replay iterations skip it (their window's clocks flushed at
+    // the discovery-iteration taskwait; the graph is fixed anyway).
+    if (race_ != nullptr && t->race_clock != nullptr && t->iteration == 0) {
+      race_->on_task_start(t->id(), thread, t->race_clock);
+    }
     Task* prev_current = tls_current_task;
     tls_current_task = t;
     BodyOutcome oc = BodyOutcome::Success;
@@ -688,6 +726,9 @@ void Runtime::record_cancelled(Task* t) {
 
 void Runtime::complete_task(Task* t, unsigned thread) {
   if (timed_) t->t_end = now_ns();
+  if (race_ != nullptr && t->race_clock != nullptr) {
+    race_->on_task_finish(t->id(), thread);
+  }
   const bool failed = t->failed;
   const bool cancelled = !failed && t->cancelled.load(std::memory_order_acquire);
   const bool poisoned = failed || cancelled;
@@ -809,6 +850,7 @@ void Runtime::taskwait() {
   // determinacy race — the interleaving just happened to be benign).
   throw_if_failed();
   verify_now(/*allow_throw=*/true);
+  race_now(/*allow_throw=*/true);
 }
 
 void Runtime::drain() {
@@ -840,6 +882,13 @@ void Runtime::drain() {
     profiler_->record_barrier(
         next_task_id_.load(std::memory_order_relaxed) - 1);
   }
+  // Epoch advance AFTER the flag buffer was filled by the drained tasks:
+  // everything <= the cutoff is done, so the detector flushes its shadow
+  // table and clock records (bounding its footprint by the window size)
+  // and future ordered() queries answer by cutoff alone.
+  if (race_ != nullptr) {
+    race_->on_barrier(next_task_id_.load(std::memory_order_relaxed) - 1);
+  }
 }
 
 void Runtime::verify_now(bool allow_throw) {
@@ -862,6 +911,76 @@ void Runtime::verify_now(bool allow_throw) {
   }
   std::fprintf(stderr, "tdg: TDG verification FAILED:\n%s\n",
                rep.summary().c_str());
+}
+
+void Runtime::race_now(bool allow_throw) {
+  if (race_ == nullptr) return;
+  // Counter sync: the detector keeps cheap internal atomics; taskwait is
+  // the natural cadence to fold the deltas into the metrics namespace.
+  if (metrics_->enabled()) {
+    const std::uint64_t checks = race_->check_count();
+    const std::uint64_t flags = race_->flag_total();
+    const std::uint64_t tracked = race_->tracked_count();
+    if (checks > race_synced_checks_) {
+      metrics_->add(m_.race_checks, checks - race_synced_checks_, 0);
+      race_synced_checks_ = checks;
+    }
+    if (flags > race_synced_flags_) {
+      metrics_->add(m_.race_flags, flags - race_synced_flags_, 0);
+      race_synced_flags_ = flags;
+    }
+    if (tracked > race_synced_tracked_) {
+      metrics_->add(m_.race_tracked, tracked - race_synced_tracked_, 0);
+      race_synced_tracked_ = tracked;
+    }
+    const std::int64_t shadow =
+        static_cast<std::int64_t>(race_->live_shadow_entries());
+    if (shadow != race_shadow_reported_) {
+      metrics_->gauge_add(m_.race_shadow, shadow - race_shadow_reported_, 0);
+      race_shadow_reported_ = shadow;
+    }
+  }
+  std::vector<RaceFlag> flags = race_->take_flags();
+  if (flags.empty()) return;
+  std::string report;
+  for (const RaceFlag& f : flags) {
+    report += f.to_string();
+    report += '\n';
+  }
+  bool confirmed = false;
+  if (cfg_.race.mode == RaceMode::Strict) {
+    // Escalation: replay the offline verifier restricted to the flagged
+    // windows for the precise report. RangeOverlap flags are confirmed
+    // as-is — the identity-based verifier structurally cannot re-derive
+    // cross-base conflicts.
+    bool any_same_base = false;
+    std::uint64_t window_lo = ~std::uint64_t{0};
+    for (const RaceFlag& f : flags) {
+      if (f.kind == RaceFlag::Kind::SameBase) {
+        any_same_base = true;
+        if (f.window_lo < window_lo) window_lo = f.window_lo;
+      } else {
+        confirmed = true;
+      }
+    }
+    if (any_same_base) {
+      madd(m_.race_escalations);
+      VerifyReport rep =
+          verify_window(profiler_->accesses(), profiler_->edges(),
+                        profiler_->barriers(), profiler_->scope_clears(),
+                        window_lo);
+      report += rep.summary();
+      confirmed = confirmed || !rep.ok();
+    }
+    if (confirmed && allow_throw) throw RaceError(report);
+  }
+  std::fprintf(stderr, "tdg: race detector flagged %zu pair(s)%s:\n%s\n",
+               flags.size(),
+               cfg_.race.mode == RaceMode::Strict
+                   ? (confirmed ? " (escalation CONFIRMED)"
+                                : " (escalation did not confirm)")
+                   : "",
+               report.c_str());
 }
 
 void Runtime::log_verify_clause(std::span<const Depend> deps) {
@@ -969,6 +1088,10 @@ void Runtime::runtime_diagnostic(std::string& out) const {
   }
   // Discovery data layer: a producer wedged mid-discovery shows up here
   // (table growth, arena footprint), complementing the metric deltas below.
+  if (race_ != nullptr) {
+    out += "\n  ";
+    race_->diagnostic(out);
+  }
   out += "\n  discovery table: " +
          std::to_string(dep_map_.tracked_addresses()) + " addresses (cap " +
          std::to_string(dep_map_.table_capacity()) + ", " +

@@ -29,6 +29,7 @@
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/profiler.hpp"
+#include "core/race.hpp"
 #include "core/scheduler.hpp"
 #include "core/slab.hpp"
 #include "core/task.hpp"
@@ -79,6 +80,12 @@ struct RuntimeMetricIds {
   Id replay_tasks;      ///< counter persistent.replay_tasks
   Id replay_bytes;      ///< counter persistent.memcpy_bytes
   Id iterations;        ///< counter persistent.iterations
+  // online race detection (synced from the detector at each taskwait)
+  Id race_checks;       ///< counter race.checks (shadow clause checks)
+  Id race_flags;        ///< counter race.flags (HB violations flagged)
+  Id race_tracked;      ///< counter race.tracked_tasks (sampled tasks)
+  Id race_escalations;  ///< counter race.escalations (offline replays)
+  Id race_shadow;       ///< gauge race.shadow_entries (live intervals)
 
   void register_into(MetricsRegistry& reg);
 };
@@ -143,6 +150,15 @@ class Runtime : public DiscoveryHooks {
     /// VerifyError. The TDG_VERIFY environment variable (off|post|strict)
     /// overrides this field.
     VerifyMode verify = VerifyMode::Off;
+    /// Online sampling race detection (see core/race.hpp): vector clocks
+    /// maintained at discovery time, shadow-table checks at task start.
+    /// Sample mode reports flags to stderr and continues; Strict escalates
+    /// flagged windows through the offline verifier at the next taskwait
+    /// (forcing `trace` on for the capture) and throws tdg::RaceError on
+    /// confirmation. The TDG_RACE environment variable
+    /// (off|sample|strict, plus TDG_RACE_SAMPLE_TASKS/SAMPLE_ADDRS/SEED)
+    /// overrides this field entirely when set.
+    RaceOptions race;
     /// Attach to a shared WorkerPool (multi-tenant mode) instead of
     /// constructing a private worker team. The pool must outlive the
     /// runtime. With a shared pool `num_threads` is ignored (the pool
@@ -326,6 +342,9 @@ class Runtime : public DiscoveryHooks {
   /// The producer's access-history table (tests / tools: table capacity,
   /// live entries, rehash count, arena footprint).
   const DependencyMap& dependency_map() const { return dep_map_; }
+  /// The online race detector (nullptr when Config::race / TDG_RACE is
+  /// off). Tests use it to predict the sampled set and check churn.
+  const RaceDetector* race_detector() const { return race_.get(); }
   const Config& config() const { return cfg_; }
   /// Live tasks = created and not yet finished. Ready = queued, not started.
   std::size_t live_tasks() const {
@@ -433,6 +452,12 @@ class Runtime : public DiscoveryHooks {
   /// `allow_throw` (taskwait); Post mode — and Strict from contexts that
   /// must not throw (destructor) — reports to stderr.
   void verify_now(bool allow_throw);
+  /// Drain the race detector's flag buffer and sync its counters into the
+  /// metrics namespace. Strict mode escalates same-base flags through
+  /// verify_window for the precise offline report and throws RaceError
+  /// when `allow_throw` (taskwait); Sample mode — and Strict from the
+  /// destructor — reports to stderr.
+  void race_now(bool allow_throw);
   /// Out-of-line clause capture for the replay-safety check (keeps the
   /// submit template free of PersistentRegion's definition).
   void log_verify_clause(std::span<const Depend> deps);
@@ -458,6 +483,14 @@ class Runtime : public DiscoveryHooks {
   MetricsSnapshot wd_baseline_;
   bool wd_baseline_set_ = false;
   std::unique_ptr<Profiler> profiler_;
+  /// Online race detector (Config::race / TDG_RACE); null when off.
+  std::unique_ptr<RaceDetector> race_;
+  /// Detector counter values already synced into metrics (race_now runs at
+  /// every taskwait; deltas keep the counters from double counting).
+  std::uint64_t race_synced_checks_ = 0;
+  std::uint64_t race_synced_flags_ = 0;
+  std::uint64_t race_synced_tracked_ = 0;
+  std::int64_t race_shadow_reported_ = 0;
   Watchdog watchdog_;
   DependencyMap dep_map_;
   /// Private pool of a solo runtime (Config::pool == nullptr). Destroyed

@@ -322,6 +322,13 @@ class Task {
   /// Set by the executing thread after the final failed attempt, before
   /// the completion-latch decrement (which orders it for the completer).
   bool failed = false;
+  /// Clock record handed out by the online race detector at discovery
+  /// (producer-side, before the discovery guard drops, so workers see it
+  /// via the npredecessors acq_rel chain). Null for unsampled tasks, which
+  /// then skip the detector's start/finish hooks entirely; non-null lets
+  /// the start hook reach its clauses without a map lookup. Valid until
+  /// the next taskwait barrier, by which point the task has completed.
+  void* race_clock = nullptr;
   /// Attempts already burned by the retry policy. Persists across
   /// deferred-retry requeues (the task leaves and re-enters the scheduler
   /// between attempts instead of sleeping on a worker).

@@ -81,8 +81,12 @@ void emit_us(std::ostream& os, std::uint64_t ns, std::uint64_t t0) {
 // --- depend-clause access encoding (shared by both formats) ---
 //
 // One task's clause becomes "code:hexaddr;code:hexaddr;..." with codes
-// in / out / io / ios. Clause order is preserved — the offline verifier
-// replays the stream exactly as discovery saw it.
+// in / out / io / ios. Extent-annotated clauses (Depend::bytes != 0, used
+// by the race detector's interval shadow table) append "/hexbytes" —
+// emitted only when set, so traces without extents stay byte-identical to
+// the old format and old traces parse unchanged. Clause order is
+// preserved — the offline verifier replays the stream exactly as
+// discovery saw it.
 
 const char* access_code(DependType t) {
   switch (t) {
@@ -133,6 +137,10 @@ std::string encode_accesses(std::span<const AccessRecord> accesses,
     out.push_back(':');
     std::snprintf(buf, sizeof buf, "%" PRIx64, accesses[i].addr);
     out += buf;
+    if (accesses[i].bytes != 0) {
+      std::snprintf(buf, sizeof buf, "/%x", accesses[i].bytes);
+      out += buf;
+    }
   }
   return out;
 }
@@ -155,11 +163,25 @@ void decode_accesses(ParsedTrace& trace, std::uint64_t task_id,
     a.label = label;
     TDG_REQUIRE(access_type_from_code(item.substr(0, colon), a.type),
                 "unknown access type code in trace");
-    const std::string hex(item.substr(colon + 1));
+    std::string_view addr_part = item.substr(colon + 1);
+    const std::size_t slash = addr_part.find('/');
+    std::string_view bytes_part;
+    if (slash != std::string_view::npos) {
+      bytes_part = addr_part.substr(slash + 1);
+      addr_part = addr_part.substr(0, slash);
+    }
+    const std::string hex(addr_part);
     char* stop = nullptr;
     a.addr = std::strtoull(hex.c_str(), &stop, 16);
     TDG_REQUIRE(stop != nullptr && *stop == '\0' && !hex.empty(),
                 "malformed access address in trace");
+    if (slash != std::string_view::npos) {
+      const std::string bhex(bytes_part);
+      a.bytes = static_cast<std::uint32_t>(
+          std::strtoul(bhex.c_str(), &stop, 16));
+      TDG_REQUIRE(stop != nullptr && *stop == '\0' && !bhex.empty(),
+                  "malformed access extent in trace");
+    }
     trace.accesses.push_back(a);
     pos = end + 1;
   }

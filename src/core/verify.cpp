@@ -401,6 +401,38 @@ VerifyReport verify_tdg(std::span<const AccessRecord> accesses,
   return rep;
 }
 
+VerifyReport verify_window(std::span<const AccessRecord> accesses,
+                           std::span<const TraceEdge> edges,
+                           std::span<const std::uint64_t> barriers,
+                           std::span<const std::uint64_t> scope_clears,
+                           std::uint64_t window_lo,
+                           const VerifyOptions& opts) {
+  // Restrict every stream to ids > window_lo. This is sound for in-window
+  // pair proofs: discovered edges always point from an earlier id to a
+  // later one, so any ordering path between two in-window tasks ascends
+  // through in-window ids only — boundary-crossing edges are never needed
+  // and dropping them cannot invent a violation.
+  std::vector<AccessRecord> acc;
+  acc.reserve(accesses.size());
+  for (const AccessRecord& a : accesses) {
+    if (a.task_id > window_lo) acc.push_back(a);
+  }
+  std::vector<TraceEdge> edg;
+  edg.reserve(edges.size());
+  for (const TraceEdge& e : edges) {
+    if (e.pred > window_lo && e.succ > window_lo) edg.push_back(e);
+  }
+  std::vector<std::uint64_t> bar;
+  for (std::uint64_t b : barriers) {
+    if (b > window_lo) bar.push_back(b);
+  }
+  std::vector<std::uint64_t> cuts;
+  for (std::uint64_t c : scope_clears) {
+    if (c > window_lo) cuts.push_back(c);
+  }
+  return verify_tdg(acc, edg, bar, cuts, opts);
+}
+
 // ---------------------------------------------------------------------------
 // Depend-clause lint
 // ---------------------------------------------------------------------------
@@ -410,6 +442,7 @@ const char* lint_kind_name(LintKind kind) {
     case LintKind::RedundantInout: return "redundant-inout";
     case LintKind::DeadDependence: return "dead-dependence";
     case LintKind::SingletonInoutset: return "singleton-inoutset";
+    case LintKind::OverlappingRange: return "overlapping-range";
   }
   return "?";
 }
@@ -417,6 +450,53 @@ const char* lint_kind_name(LintKind kind) {
 std::vector<LintFinding> lint_clauses(
     std::span<const AccessRecord> accesses) {
   std::vector<LintFinding> findings;
+
+  // Overlapping address ranges within one task's clause: two items whose
+  // declared byte ranges partially overlap but name different bases are a
+  // likely aliasing mistake — discovery matches on base identity, so the
+  // two items will never order against each other's conflicting partners.
+  // Scans contiguous per-task runs (the stream is in submission order).
+  for (std::size_t i = 0; i < accesses.size();) {
+    std::size_t j = i;
+    while (j < accesses.size() &&
+           accesses[j].task_id == accesses[i].task_id) {
+      ++j;
+    }
+    for (std::size_t a = i; a < j; ++a) {
+      if (accesses[a].bytes == 0) continue;
+      const std::uint64_t alo = accesses[a].addr;
+      const std::uint64_t ahi = alo + accesses[a].bytes;
+      for (std::size_t b = a + 1; b < j; ++b) {
+        if (accesses[b].bytes == 0) continue;
+        if (accesses[b].addr == accesses[a].addr) continue;
+        const std::uint64_t blo = accesses[b].addr;
+        const std::uint64_t bhi = blo + accesses[b].bytes;
+        if (alo >= bhi || blo >= ahi) continue;
+        std::ostringstream os;
+        os << "overlapping ranges: task " << accesses[a].task_id;
+        if (accesses[a].label != nullptr && accesses[a].label[0] != '\0') {
+          os << " [" << accesses[a].label << "]";
+        }
+        os << " declares " << dep_type_name(accesses[a].type) << "(";
+        append_hex(os, alo);
+        os << "+" << accesses[a].bytes << ") and "
+           << dep_type_name(accesses[b].type) << "(";
+        append_hex(os, blo);
+        os << "+" << accesses[b].bytes
+           << ") whose byte ranges overlap under different bases; "
+              "discovery matches base identity only, so these items never "
+              "order against each other -- use one base address";
+        LintFinding f;
+        f.kind = LintKind::OverlappingRange;
+        f.addr = alo;
+        f.task_id = accesses[a].task_id;
+        f.label = accesses[a].label;
+        f.message = os.str();
+        findings.push_back(std::move(f));
+      }
+    }
+    i = j;
+  }
 
   // Regroup the stream per address, keeping submission order.
   struct Item {
@@ -557,7 +637,7 @@ std::unordered_set<std::uint64_t> rediscover_edges(const ClauseStream& cs) {
     for (const Depend& d : cs.clause(i)) {
       accesses.push_back(AccessRecord{
           static_cast<std::uint64_t>(i),
-          reinterpret_cast<std::uint64_t>(d.addr), d.type, ""});
+          reinterpret_cast<std::uint64_t>(d.addr), d.type, d.bytes, ""});
     }
   }
   std::unordered_set<std::uint64_t> set;

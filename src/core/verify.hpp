@@ -99,6 +99,18 @@ VerifyReport verify_tdg(std::span<const AccessRecord> accesses,
                         std::span<const std::uint64_t> scope_clears = {},
                         const VerifyOptions& opts = {});
 
+/// Escalation entry point for the online race detector: run verify_tdg
+/// restricted to tasks with id > window_lo (the barrier cutoff in force
+/// when a window was flagged). Edges/barriers/scope-clears are filtered to
+/// the window too — sound because discovered edges ascend in id, so an
+/// ordering path between in-window tasks never leaves the window.
+VerifyReport verify_window(std::span<const AccessRecord> accesses,
+                           std::span<const TraceEdge> edges,
+                           std::span<const std::uint64_t> barriers,
+                           std::span<const std::uint64_t> scope_clears,
+                           std::uint64_t window_lo,
+                           const VerifyOptions& opts = {});
+
 // ---------------------------------------------------------------------------
 // Depend-clause lint (the user-side minimization of paper optimization (a))
 // ---------------------------------------------------------------------------
@@ -115,6 +127,11 @@ enum class LintKind : std::uint8_t {
   /// same ordering without the concurrent-set machinery (and without ever
   /// paying for a redirect node).
   SingletonInoutset,
+  /// Two clause items on the same task whose declared byte ranges overlap
+  /// but use different base addresses: discovery matches base identity
+  /// only, so the items never order against each other's conflicting
+  /// partners — a likely aliasing mistake.
+  OverlappingRange,
 };
 
 struct LintFinding {

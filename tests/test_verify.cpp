@@ -25,7 +25,7 @@ Runtime::Config verified_config(VerifyMode mode = VerifyMode::Post,
 
 AccessRecord acc(std::uint64_t task, std::uint64_t addr, DependType type,
                  const char* label = "") {
-  return AccessRecord{task, addr, type, label};
+  return AccessRecord{task, addr, type, /*bytes=*/0, label};
 }
 
 // --- soundness checker on live runtime graphs -------------------------------

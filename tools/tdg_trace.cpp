@@ -11,16 +11,21 @@
 //                                       + top comm-blocked task labels
 //   tdg-trace verify   <trace> [-n K]   TDG soundness check (races, cycles)
 //   tdg-trace lint     <trace> [--strict]   depend-clause lint
+//   tdg-trace race     <trace> [--sample-tasks N] [--sample-addrs M]
+//                                       replay the online race detector
+//                                       over the recorded streams and
+//                                       escalate flagged windows offline
 //
 // Installing (or symlinking) the binary as `tdg-lint` makes it default to
 // the lint command: `tdg-lint trace.json` == `tdg-trace lint trace.json`.
 //
 // <trace> is a file produced with TDG_TRACE=perfetto or TDG_TRACE=tsv (or
 // "-" for stdin); the format is sniffed, so export converts between the
-// two. verify/lint need the depend-clause access stream, which traces
+// two. verify/lint/race need the depend-clause access stream, which traces
 // carry when recorded with TDG_VERIFY=post|strict. Exit status: 0 ok,
 // 1 bad input, 2 usage error, 3 verification failed / lint --strict found
-// issues.
+// issues / race confirmed a violation. `<command> --help` prints a
+// man-style page with the command's exit codes.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +40,7 @@
 
 #include "core/analysis.hpp"
 #include "core/error.hpp"
+#include "core/race.hpp"
 #include "core/trace_export.hpp"
 #include "core/trace_merge.hpp"
 #include "core/verify.hpp"
@@ -83,11 +89,132 @@ int usage(const char* argv0) {
                "                                   work for nothing; exit 3 "
                "only with --strict\n"
                "\n"
+               "  race     <trace> [--sample-tasks N] [--sample-addrs M] "
+               "[--seed S]\n"
+               "                                   replay the online race "
+               "detector over the\n"
+               "                                   recorded streams; exit 3 "
+               "on confirmed\n"
+               "                                   violations\n"
+               "\n"
                "<trace> may be '-' for stdin. Accepts both the Perfetto "
-               "JSON and the TSV\nwritten under TDG_TRACE. verify/lint need "
-               "a trace recorded with\nTDG_VERIFY=post (or strict), which "
-               "embeds the depend-clause stream.\n",
-               argv0);
+               "JSON and the TSV\nwritten under TDG_TRACE. verify/lint/race "
+               "need a trace recorded with\nTDG_VERIFY=post (or strict), "
+               "which embeds the depend-clause stream.\nRun '%s <command> "
+               "--help' for a command's full page and exit codes.\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// Man-style page for one subcommand (`tdg-trace <command> --help`).
+/// Every page documents the command's exit codes.
+int sub_help(const std::string& cmd) {
+  static const struct {
+    const char* name;
+    const char* synopsis;
+    const char* description;
+    const char* options;
+    const char* exits;
+  } pages[] = {
+      {"summary", "tdg-trace summary <trace>",
+       "Print task/edge/thread totals, the parallelism profile (span,\n"
+       "busy time, average and peak concurrency), the discovery/execution\n"
+       "overlap percentage, per-rank rows for merged multi-rank traces,\n"
+       "communication statistics, and per-label body-time aggregates.",
+       "  (none beyond the common trace argument)",
+       "  0  summary printed\n"
+       "  1  unreadable or malformed trace\n"
+       "  2  usage error"},
+      {"critpath", "tdg-trace critpath <trace> [-n K]",
+       "Compute the critical path through the recorded task graph\n"
+       "(dependence edges plus cross-rank message edges in merged traces)\n"
+       "and print its length, the span's slack ratio, per-label\n"
+       "attribution, and the K longest nodes.",
+       "  -n K   print the K longest path nodes (default 20, 0 = all)",
+       "  0  path printed\n"
+       "  1  unreadable or malformed trace\n"
+       "  2  usage error"},
+      {"export", "tdg-trace export <trace> [-o OUT] [--format perfetto|tsv]",
+       "Re-emit the trace, converting between the Perfetto JSON and\n"
+       "extended-TSV formats. The default writes Perfetto JSON to stdout.",
+       "  -o OUT            output file ('-' = stdout, the default)\n"
+       "  --format FORMAT   perfetto (default) or tsv",
+       "  0  trace written\n"
+       "  1  unreadable trace or unwritable output\n"
+       "  2  usage error"},
+      {"merge",
+       "tdg-trace merge <trace...> [-o OUT] [--format perfetto|tsv] "
+       "[--no-offsets]",
+       "Stitch per-rank trace files into one global timeline: estimate\n"
+       "per-rank clock offsets from matched send/recv pairs, rebase all\n"
+       "timestamps, and derive cross-rank message edges.",
+       "  -o OUT            output file ('-' = stdout, the default)\n"
+       "  --format FORMAT   perfetto (default) or tsv\n"
+       "  --no-offsets      keep each rank's own clock (skip estimation)",
+       "  0  merged trace written\n"
+       "  1  unreadable input or unwritable output\n"
+       "  2  usage error"},
+      {"timeline", "tdg-trace timeline <trace>",
+       "Print per-rank discovery/execution overlap, span, busy time and\n"
+       "communication wait, plus the task labels most blocked on\n"
+       "communication.",
+       "  (none beyond the common trace argument)",
+       "  0  timeline printed\n"
+       "  1  unreadable or malformed trace\n"
+       "  2  usage error"},
+      {"verify", "tdg-trace verify <trace> [-n K]",
+       "Offline TDG soundness check: re-derive the required ordering\n"
+       "relation from the embedded depend-clause stream and prove or\n"
+       "refute every conflicting access pair against the recorded graph.\n"
+       "Requires a trace recorded with TDG_VERIFY=post or strict.",
+       "  -n K   materialize at most K findings (totals keep counting)",
+       "  0  graph is sound\n"
+       "  1  trace unreadable or lacks the depend-clause stream\n"
+       "  2  usage error\n"
+       "  3  determinacy races or a cycle found"},
+      {"lint", "tdg-trace lint <trace> [--strict]",
+       "Depend-clause lint (the user-side half of paper optimization (a)):\n"
+       "flag redundant inout clauses, dead dependences, singleton\n"
+       "inoutsets, and same-task clause items whose declared byte ranges\n"
+       "overlap under different base addresses (an aliasing mistake\n"
+       "discovery cannot order). Advisory by default.",
+       "  --strict   findings change the exit status (CI gating)",
+       "  0  clean (or findings without --strict)\n"
+       "  1  trace unreadable or lacks the depend-clause stream\n"
+       "  2  usage error\n"
+       "  3  findings present and --strict given"},
+      {"race",
+       "tdg-trace race <trace> [--sample-tasks N] [--sample-addrs M] "
+       "[--seed S]",
+       "Replay the online sampling race detector (core/race.hpp) over the\n"
+       "recorded access/edge/barrier streams in submission order, then\n"
+       "escalate flagged windows through the offline verifier exactly as\n"
+       "the strict runtime mode would at a taskwait. Same-base flags are\n"
+       "confirmed by the verifier; range-overlap flags (cross-base byte\n"
+       "overlap) are confirmed as flagged, since identity-based discovery\n"
+       "structurally cannot order them. Defaults to checking everything\n"
+       "(sampling rate 1).",
+       "  --sample-tasks N   shadow-check every Nth task (default 1)\n"
+       "  --sample-addrs M   of a checked task's clauses, check every Mth\n"
+       "                     address (default 1)\n"
+       "  --seed S           sampling hash seed (default 0); the sampled\n"
+       "                     set is a pure function of (seed, id)",
+       "  0  no confirmed violation\n"
+       "  1  trace unreadable or lacks the depend-clause stream\n"
+       "  2  usage error\n"
+       "  3  a violation was confirmed"},
+  };
+  for (const auto& p : pages) {
+    if (cmd != p.name) continue;
+    std::printf(
+        "NAME\n    tdg-trace %s\n\nSYNOPSIS\n    %s\n\nDESCRIPTION\n",
+        p.name, p.synopsis);
+    std::printf("    %s\n", p.description);
+    std::printf("\nOPTIONS\n%s\n", p.options);
+    std::printf("\nEXIT STATUS\n%s\n", p.exits);
+    return 0;
+  }
+  std::fprintf(stderr, "tdg-trace: no help page for '%s'\n", cmd.c_str());
   return 2;
 }
 
@@ -368,6 +495,25 @@ int cmd_verify(const tdg::ParsedTrace& trace, std::size_t max_reports) {
   return rep.ok() ? 0 : 3;
 }
 
+int cmd_race(const tdg::ParsedTrace& trace, std::uint64_t sample_tasks,
+             std::uint64_t sample_addrs, std::uint64_t seed) {
+  if (!require_accesses(trace, "race")) return 1;
+  tdg::RaceOptions opts;
+  opts.mode = tdg::RaceMode::Strict;
+  opts.sample_tasks = sample_tasks;
+  opts.sample_addrs = sample_addrs;
+  opts.seed = seed;
+  opts.live_report = false;
+  const tdg::RaceScanResult res =
+      tdg::race_scan(trace.accesses, trace.edges, trace.barriers,
+                     trace.scope_clears, opts);
+  std::printf("%s", res.report.c_str());
+  std::printf("race scan: %zu flag%s (%zu total), %zu confirmed\n",
+              res.flags.size(), res.flags.size() == 1 ? "" : "s",
+              res.flags_total, res.confirmed);
+  return res.any_confirmed() ? 3 : 0;
+}
+
 int cmd_lint(const tdg::ParsedTrace& trace, bool strict) {
   if (!require_accesses(trace, "lint")) return 1;
   const std::vector<tdg::LintFinding> findings =
@@ -390,6 +536,23 @@ int main(int argc, char** argv) {
   const char* base = slash != nullptr ? slash + 1 : argv[0];
   const bool lint_alias = std::strcmp(base, "tdg-lint") == 0;
 
+  // `tdg-trace --help` / `tdg-trace <command> --help` before the argc
+  // floor: a help request needs no trace argument.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      if (lint_alias) return sub_help("lint");
+      if (argc >= 2 && argv[1][0] != '-' && std::strcmp(argv[1], "help")) {
+        return sub_help(argv[1]);
+      }
+      usage(argv[0]);
+      return 0;
+    }
+  }
+  if (!lint_alias && argc >= 3 && std::strcmp(argv[1], "help") == 0) {
+    return sub_help(argv[2]);
+  }
+
   if (argc < (lint_alias ? 2 : 3)) return usage(argv[0]);
   const std::string cmd = lint_alias ? "lint" : argv[1];
 
@@ -398,6 +561,9 @@ int main(int argc, char** argv) {
   std::string format = "perfetto";
   bool strict = false;
   bool estimate_offsets = true;
+  std::uint64_t sample_tasks = 1;
+  std::uint64_t sample_addrs = 1;
+  std::uint64_t seed = 0;
   // merge accepts several input traces; every other command exactly one.
   std::vector<std::string> paths{argv[lint_alias ? 1 : 2]};
   for (int i = lint_alias ? 2 : 3; i < argc; ++i) {
@@ -412,6 +578,12 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (a == "--no-offsets") {
       estimate_offsets = false;
+    } else if (a == "--sample-tasks" && i + 1 < argc) {
+      sample_tasks = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--sample-addrs" && i + 1 < argc) {
+      sample_addrs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (cmd == "merge" && (a.empty() || a[0] != '-')) {
       paths.push_back(a);
     } else {
@@ -431,6 +603,9 @@ int main(int argc, char** argv) {
     if (cmd == "timeline") return cmd_timeline(trace);
     if (cmd == "verify") return cmd_verify(trace, top);
     if (cmd == "lint") return cmd_lint(trace, strict);
+    if (cmd == "race") {
+      return cmd_race(trace, sample_tasks, sample_addrs, seed);
+    }
     std::fprintf(stderr, "tdg-trace: unknown command: %s\n", cmd.c_str());
     return usage(argv[0]);
   } catch (const tdg::UsageError& e) {
